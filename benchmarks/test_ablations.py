@@ -1,0 +1,42 @@
+"""Ablations: mechanism vs policy contributions (DESIGN.md §7)."""
+
+import pytest
+
+from repro.experiments import ablations as exp
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablations(benchmark, record_output):
+    cfg = ExperimentConfig(num_workers=6, sim_ms=15, warmup_ms=3)
+
+    def run():
+        with record_output():
+            return exp.main(cfg)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_name = {r["variant"]: r for r in results["rows"]}
+
+    # The one-level policy NEEDS the cheap mechanism: pricing its
+    # switches like kernel switches wrecks efficiency.
+    assert by_name["vessel-kernel-switch"]["waste_fraction"] > \
+        3 * by_name["vessel"]["waste_fraction"]
+
+    # Uintr buys tail latency, not throughput: same efficiency, worse
+    # P999 when preemption goes through kernel signals.
+    assert by_name["vessel-no-uintr"]["waste_fraction"] == pytest.approx(
+        by_name["vessel"]["waste_fraction"], abs=0.02)
+    assert by_name["vessel-no-uintr"]["p999_us"] > \
+        by_name["vessel"]["p999_us"]
+
+    # The conservative two-level policy cannot fully exploit cheap
+    # switches: better than stock Caladan, still behind VESSEL.
+    assert by_name["caladan-fast-switch"]["app_fraction"] > \
+        by_name["caladan"]["app_fraction"]
+    assert by_name["caladan-fast-switch"]["app_fraction"] < \
+        by_name["vessel"]["app_fraction"]
+
+    # §4.2 defense cost: tens of nanoseconds on a 160 ns switch.
+    gate = results["gate_defense"]
+    overhead = gate["full_defenses_ns"] - gate["no_defenses_ns"]
+    assert 10 <= overhead <= 100

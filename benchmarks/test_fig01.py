@@ -1,0 +1,28 @@
+"""Figure 1: cost of application colocation under Caladan."""
+
+import pytest
+
+from repro.experiments import fig01_colocation_cost as exp
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig01_colocation_cost(benchmark, record_output):
+    cfg = ExperimentConfig(num_workers=6, sim_ms=15, warmup_ms=3)
+
+    def run():
+        with record_output():
+            return exp.main(cfg)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Paper: total normalized throughput declines up to 18%; up to 17%
+    # of cycles are spent in kernel+runtime.  Shape check: a clearly
+    # nonzero decline in the same ballpark.
+    assert 0.05 <= results["max_decline"] <= 0.35
+    assert 0.04 <= results["max_waste"] <= 0.30
+    # Every point loses throughput relative to ideal.
+    for point in results["points"]:
+        assert point["total_normalized"] < 0.97
+        assert point["kernel_cores"] > 0
+        assert point["runtime_cores"] > 0

@@ -1,0 +1,26 @@
+"""Figure 2: cost of dense colocation (cycles breakdown vs #apps)."""
+
+import pytest
+
+from repro.experiments import fig02_dense_cost as exp
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig02_dense_cost(benchmark, record_output):
+    cfg = ExperimentConfig(sim_ms=15, warmup_ms=3)
+
+    def run():
+        with record_output():
+            return exp.main(cfg)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    points = results["points"]
+
+    # Paper: "as the number of colocated applications increases, the CPU
+    # cycles spent in the kernel increase as well."
+    kernel = [p["kernel_fraction"] for p in points]
+    assert kernel[-1] > kernel[0]
+    assert kernel[-1] > 1.5 * kernel[0]
+    # Tail latency degrades with density under Caladan.
+    assert points[-1]["p999_us"] > points[0]["p999_us"]

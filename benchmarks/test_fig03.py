@@ -1,0 +1,24 @@
+"""Figure 3: the Caladan core-reallocation timeline."""
+
+import pytest
+
+from repro.experiments import fig03_realloc_timeline as exp
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig03_realloc_timeline(benchmark, record_output):
+    def run():
+        with record_output():
+            return exp.main(ExperimentConfig())
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Paper: the whole pipeline takes 5.3 us on average.
+    assert results["measured_total_us"] == pytest.approx(5.3, abs=0.01)
+    assert len(results["timeline"]) == 6
+    # Kernel phases dominate; only the SIGUSR-driven save is userspace.
+    runtime_phases = [p for p in results["timeline"]
+                      if p["category"] == "runtime"]
+    assert len(runtime_phases) == 1
+    assert runtime_phases[0]["phase"] == "userspace state save"

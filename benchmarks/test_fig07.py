@@ -1,0 +1,25 @@
+"""Figure 7: execution-timeline comparison (traced)."""
+
+import pytest
+
+from repro.experiments import fig07_timeline as exp
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig07_timeline(benchmark, record_output):
+    def run():
+        with record_output():
+            return exp.main(ExperimentConfig())
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    vessel, caladan = results["vessel"], results["caladan"]
+
+    # VESSEL packs the cores with application work.
+    assert vessel["app_fraction"] > 0.9
+    assert vessel["kernel_fraction"] < 0.02
+    # Caladan's timeline shows spins, kernel switches, and idle gaps.
+    assert caladan["app_fraction"] < vessel["app_fraction"] - 0.1
+    assert caladan["kernel_fraction"] > 0.03
+    assert caladan["runtime_fraction"] > vessel["runtime_fraction"]
+    assert caladan["idle_fraction"] > 0.02

@@ -1,0 +1,50 @@
+"""Figure 9: L-app + B-app colocation across all systems."""
+
+import math
+
+import pytest
+
+from repro.experiments import fig09_colocation as exp
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig09_colocation(benchmark, record_output):
+    cfg = ExperimentConfig(num_workers=6, sim_ms=15, warmup_ms=3)
+
+    def run():
+        with record_output():
+            return exp.main(cfg)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = results["summary"]
+
+    # Paper: VESSEL declines 6.6% on average; Caladan 16.1% on average.
+    assert summary["vessel"]["avg_decline"] < 0.10
+    assert summary["caladan"]["avg_decline"] > 1.5 * \
+        summary["vessel"]["avg_decline"]
+
+    def rows(system, workload="memcached"):
+        return [r for r in results[workload] if r["system"] == system]
+
+    # VESSEL's P999 below every Caladan variant at every load.
+    for vrow in rows("vessel"):
+        for other in ("caladan", "caladan-dr-l", "caladan-dr-h"):
+            twin = next(r for r in rows(other) if r["load"] == vrow["load"])
+            assert vrow["p999_us"] < twin["p999_us"]
+
+    # DR-H approaches VESSEL's efficiency but pays more latency.
+    drh = summary["caladan-dr-h"]
+    assert drh["avg_decline"] < summary["caladan"]["avg_decline"]
+
+    # Arachne and CFS: low loads only, terrible tails (paper: >10 ms for
+    # CFS; Arachne collapses under load).
+    cfs_rows = rows("linux-cfs")
+    assert max(r["p999_us"] for r in cfs_rows) > 1000
+    arachne_rows = rows("arachne")
+    assert max(r["p999_us"] for r in arachne_rows) > 100
+
+    # Silo: both main systems near-ideal (switch cost amortized).
+    for row in results["silo"]:
+        if row["system"] in ("vessel", "caladan"):
+            assert row["total_normalized"] > 0.9

@@ -1,0 +1,32 @@
+"""Figure 10: dense colocation of memcached instances on one core."""
+
+import pytest
+
+from repro.experiments import fig10_dense as exp
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_dense(benchmark, record_output):
+    cfg = ExperimentConfig(sim_ms=15, warmup_ms=3)
+
+    def run():
+        with record_output():
+            return exp.main(cfg)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = results["summary"]
+
+    def peak(system, count):
+        return summary[(system, count)]["peak_tput_mops"]
+
+    # Paper: Caladan's peak drops ~25% from 1 to 10 instances; VESSEL is
+    # almost unchanged.
+    vessel_drop = 1.0 - peak("vessel", 10) / max(1e-9, peak("vessel", 1))
+    caladan_drop = 1.0 - peak("caladan-dr-l", 10) / max(
+        1e-9, peak("caladan-dr-l", 1))
+    assert caladan_drop > 0.15
+    assert vessel_drop < caladan_drop
+    assert vessel_drop < 0.15
+    # And VESSEL's dense peak beats Caladan's dense peak outright.
+    assert peak("vessel", 10) > peak("caladan-dr-l", 10)

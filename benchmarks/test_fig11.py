@@ -1,0 +1,22 @@
+"""Figure 11: cache friendliness of the shared address space."""
+
+import pytest
+
+from repro.experiments import fig11_cache as exp
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_cache(benchmark, record_output):
+    def run():
+        with record_output():
+            return exp.main(ExperimentConfig())
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Paper: 4.6% -> 0.0415% miss rate; completion 6-24% lower.
+    assert results["vessel"]["miss_rate"] < 0.005
+    assert results["caladan"]["miss_rate"] > 0.01
+    assert results["caladan"]["miss_rate"] > \
+        20 * max(results["vessel"]["miss_rate"], 1e-6)
+    assert 0.03 <= results["completion_reduction"] <= 0.45

@@ -1,0 +1,27 @@
+"""Figure 12: goodput vs number of managed cores (control-plane knee)."""
+
+import pytest
+
+from repro.experiments import fig12_scalability as exp
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_scalability(benchmark, record_output):
+    cfg = ExperimentConfig(sim_ms=5, warmup_ms=2, bursty=True)
+
+    def run():
+        with record_output():
+            return exp.main(cfg)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    gains = results["gains"]
+
+    # Paper: VESSEL gains ~25% from 32 to 42 cores and dips at 44.
+    assert gains["vessel"][42] > 0.15
+    assert gains["vessel"][44] < gains["vessel"][42]
+    # Paper: Caladan gains ~1.45% to 34 cores and declines beyond.
+    assert abs(gains["caladan"][34]) < 0.15
+    assert gains["caladan"][36] <= gains["caladan"][34]
+    # VESSEL scales where Caladan cannot.
+    assert gains["vessel"][42] > gains["caladan"][34] + 0.1

@@ -1,0 +1,20 @@
+"""§2.2 microbenchmark: Uintr vs IPI-signal latency."""
+
+import pytest
+
+from repro.experiments import micro_uintr as exp
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_uintr_vs_ipi(benchmark, record_output):
+    def run():
+        with record_output():
+            return exp.main(ExperimentConfig())
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Paper: "up to 15x lower latencies than IPI-based signals".
+    assert 10 <= results["ratio"] <= 25
+    assert results["uintr_us"] < 0.5
+    assert results["ipi_signal_us"] > 2.0

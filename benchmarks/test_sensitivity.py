@@ -1,0 +1,29 @@
+"""Switch-cost sensitivity: where VESSEL's advantage comes from."""
+
+import pytest
+
+from repro.experiments import sensitivity as exp
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_switch_cost_sensitivity(benchmark, record_output):
+    cfg = ExperimentConfig(num_workers=6, sim_ms=15, warmup_ms=3)
+
+    def run():
+        with record_output():
+            return exp.main(cfg)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = results["rows"]
+
+    # Waste grows monotonically (within noise) with switch cost.
+    assert rows[-1]["waste"] > rows[0]["waste"] * 3
+    # The thesis, quantified: the one-level policy's efficiency advantage
+    # requires sub-microsecond switches...
+    assert results["efficiency_crossover_us"] is not None
+    assert results["efficiency_crossover_us"] < 2.2
+    # ...while the latency advantage survives far longer, because even an
+    # expensive direct switch beats waiting for a 10 us allocation tick.
+    lat = results["latency_crossover_us"]
+    assert lat is None or lat > 2 * results["efficiency_crossover_us"]

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Dense colocation: many memcached instances on ONE core (Figure 10).
+
+With 10 latency-critical apps sharing a single core, every request
+boundary is a potential inter-application switch.  VESSEL switches
+between uProcesses for the same ~0.16 us an intra-app switch costs;
+Caladan has to rebind the core through the IOKernel (2.1 us) or run the
+5.3 us kernel preemption pipeline.
+
+Run:  python examples/dense_colocation.py
+"""
+
+from repro.experiments.common import ExperimentConfig, format_table, \
+    run_colocation
+
+
+def main() -> None:
+    cfg = ExperimentConfig(num_workers=1, sim_ms=20, warmup_ms=4,
+                           bursty=True)
+    rows = []
+    for system in ("vessel", "caladan-dr-l"):
+        for count in (1, 10):
+            load = 0.6  # 60% of the single core, split across instances
+            l_specs = [("memcached", f"mc{i}", load / count)
+                       for i in range(count)]
+            report = run_colocation(system, cfg, l_specs=l_specs,
+                                    b_specs=())
+            agg = sum(report.throughput_mops(s[1]) for s in l_specs)
+            worst = max(report.p999_us(s[1]) for s in l_specs)
+            rows.append([system, count, round(agg, 3), round(worst, 1),
+                         round(report.waste_fraction(), 3)])
+    print("one worker core, 60% aggregate load, bursty clients\n")
+    print(format_table(["system", "#instances", "agg tput Mops",
+                        "worst P999 us", "waste"], rows))
+    print("\npaper's Figure 10: going from 1 to 10 instances costs Caladan"
+          "\n~25% of its peak and inflates its tail ~20%, while VESSEL is"
+          "\nalmost unchanged.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Memory-bandwidth regulation accuracy (Figure 13b).
+
+Throttle a single membench thread to 10%..100% of its solo bandwidth
+using three mechanisms and compare how closely each tracks the target:
+
+* VESSEL's core duty-cycling (sub-microsecond switches, 50 us windows);
+* Intel MBA's hardware throttling levels (coarse, indirect);
+* a cgroup CPU quota (CFS-period granularity, slice-quantized).
+
+Run:  python examples/membw_regulation.py
+"""
+
+from repro.experiments.common import ExperimentConfig, format_table
+from repro.experiments.fig13_membw import run_accuracy_part
+
+
+def main() -> None:
+    results = run_accuracy_part(ExperimentConfig())
+    rows = [[f"{r['target']:.0%}", f"{r['vessel']:.1%}",
+             f"{r['mba']:.1%}", f"{r['cgroup']:.1%}"]
+            for r in results["rows"]]
+    print("achieved bandwidth (fraction of the thread's solo bandwidth)\n")
+    print(format_table(["target", "VESSEL", "Intel MBA", "cgroup quota"],
+                       rows))
+    errors = results["max_error"]
+    print(f"\nworst-case |achieved - target|: "
+          f"VESSEL {errors['vessel']:.1%}, MBA {errors['mba']:.1%}, "
+          f"cgroup {errors['cgroup']:.1%}")
+    print("\nVESSEL can hold the line because suspending/resuming a core "
+          "costs ~0.16 us,\nso duty-cycling at 50 us windows is practically "
+          "free - the paper's Figure 13b.")
+
+
+if __name__ == "__main__":
+    main()

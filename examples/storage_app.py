@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Park-on-block in action (§4.4 / §5.2.5): a storage-backed service.
+
+A RocksDB-like app serves requests where 30% miss the in-memory cache
+and read a block from an NVMe device (~10 µs).  Under VESSEL the serving
+thread *parks* during the IO — the core switches to Linpack for 0.16 µs
+and switches back when the completion arrives — so IO waits cost the
+machine nothing.
+
+Run:  python examples/storage_app.py
+"""
+
+from repro.sim import Simulator, RngStreams, MS
+from repro.hardware import CostModel, Machine
+from repro.vessel import VesselSystem
+from repro.baselines import CaladanSystem
+from repro.workloads import linpack_app
+from repro.workloads.storage import StorageRequestSource, storage_app
+
+
+def run(system_cls, rate=0.8, workers=4):
+    sim = Simulator()
+    machine = Machine(sim, CostModel(), workers + 1)
+    rngs = RngStreams(21)
+    system = system_cls(sim, machine, rngs,
+                        worker_cores=machine.cores[1:])
+    app = storage_app()
+    batch = linpack_app()
+    system.add_app(app)
+    system.add_app(batch)
+    system.start()
+    source = StorageRequestSource(sim, app, system.submit, rate,
+                                  rngs.stream("io"), miss_fraction=0.3)
+    sim.at(4 * MS, system.begin_measurement)
+    sim.run(until=24 * MS)
+    return system.report(), source
+
+
+def main() -> None:
+    print("rocksdb-like app (30% of requests park ~10 us on NVMe) "
+          "+ Linpack, 4 workers, 0.8 Mops/s\n")
+    for system_cls in (VesselSystem, CaladanSystem):
+        report, source = run(system_cls)
+        lat = report.latency["rocksdb"]
+        b_cores = report.useful_ns["linpack"] / report.elapsed_ns
+        print(f"{report.system:10s} "
+              f"tput={report.throughput_mops('rocksdb'):.2f} Mops  "
+              f"P50={lat['p50_us']:5.1f} us  P999={lat['p999_us']:6.1f} us  "
+              f"linpack={b_cores:.2f} cores  "
+              f"waste={report.waste_fraction():.1%}")
+    print("\nboth systems park threads during IO, but every park/unpark "
+          "pair costs\nVESSEL ~0.3 us and Caladan ~4-7 us of kernel time — "
+          "at 30% miss rate that\ngap shows up directly in waste and tails.")
+
+
+if __name__ == "__main__":
+    main()

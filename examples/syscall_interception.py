@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The §5.2.4 story: why uProcesses must not issue kernel syscalls.
+
+uProcess threads can be scheduled inside *any* backing kProcess.  If two
+uProcesses happen to share one kProcess, a raw kernel fd table would let
+uProcess B brute-force descriptors uProcess A opened (security), and a
+uProcess migrating to another kProcess would lose its descriptors
+(correctness).  VESSEL's runtime therefore proxies all syscalls and keeps
+a per-uProcess descriptor map.
+
+Run:  python examples/syscall_interception.py
+"""
+
+from repro.sim import Simulator
+from repro.hardware import CostModel, Machine, Permission
+from repro.kernel import KernelSignals, KProcess, SyscallLayer
+from repro.uprocess import Manager, ProgramImage
+from repro.vessel import SyscallDenied, VesselRuntime
+
+
+def main() -> None:
+    sim = Simulator()
+    costs = CostModel()
+    machine = Machine(sim, costs, 2)
+    syscalls = SyscallLayer(costs)
+    manager = Manager(syscalls=syscalls,
+                      signals=KernelSignals(sim, costs), costs=costs)
+    domain = manager.create_domain(machine.cores)
+    app_a = manager.create_uprocess(domain, ProgramImage("tenant-a"))
+    app_b = manager.create_uprocess(domain, ProgramImage("tenant-b"))
+
+    print("== The problem, without the runtime proxy ==")
+    shared_kproc = KProcess("shared-backing-kprocess")
+    kfd = syscalls.open(shared_kproc, "/tenant-a/secrets.db",
+                        owner_label="tenant-a")
+    print(f"tenant-a opened /tenant-a/secrets.db -> kernel fd {kfd}")
+    probe = syscalls.read_fd(shared_kproc, kfd)
+    print(f"tenant-b brute-forces fd {kfd} in the same kProcess and reads: "
+          f"{probe.path}  <-- LEAK")
+
+    print("\n== With VESSEL's syscall interception (§5.2.4) ==")
+    runtime = VesselRuntime(domain, syscalls)
+    ufd = runtime.sys_open(app_a, "/tenant-a/secrets.db")
+    print(f"tenant-a opens the file through the call gate -> ufd {ufd}")
+    for candidate in range(ufd + 3):
+        try:
+            runtime.sys_read(app_b, candidate)
+            print(f"  tenant-b read ufd {candidate}  <-- LEAK")
+        except SyscallDenied as exc:
+            print(f"  tenant-b probes ufd {candidate}: {exc}")
+    print(f"tenant-a still reads fine: "
+          f"{runtime.sys_read(app_a, ufd).path}")
+
+    print("\n== Executable mappings are categorically refused (§4.2) ==")
+    try:
+        runtime.sys_mmap(app_b, 4096, Permission.rx())
+    except SyscallDenied as exc:
+        print(f"mmap(PROT_EXEC) by tenant-b: {exc}")
+    segments = runtime.sys_dlopen(app_b, ProgramImage("numpy-clone"))
+    print(f"dlopen through the runtime (inspected first) -> text at "
+          f"{segments.text_addr:#x}")
+
+
+if __name__ == "__main__":
+    main()

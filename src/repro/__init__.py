@@ -1,0 +1,43 @@
+"""Reproduction of "Fast Core Scheduling with Userspace Process Abstraction".
+
+This package reimplements, as an executable model, the uProcess abstraction
+and the VESSEL userspace core scheduler from SOSP 2024 (Lin, Chen, Gao, Lu),
+together with every substrate the paper's evaluation depends on: a
+discrete-event machine model (cores, MPK, Uintr, IPIs, caches, a shared
+memory bus), a Linux-kernel substrate (kProcesses, syscalls, signals, CFS),
+the baseline schedulers (Caladan with and without Delay Range, Arachne,
+Linux CFS, Intel MBA, cgroups), and the paper's workloads (memcached, Silo,
+Linpack, membench).
+
+The top-level subpackages are:
+
+``repro.sim``
+    Deterministic discrete-event simulation kernel (nanosecond clock).
+``repro.hardware``
+    Simulated hardware: cost model, MPK, Uintr, IPIs, memory bus, caches.
+``repro.kernel``
+    Simulated Linux substrate: kProcess, syscalls, signals, CFS.
+``repro.uprocess``
+    The paper's contribution: SMAS, call gate, loader, threads, manager.
+``repro.vessel``
+    The VESSEL runtime and one-level global core scheduler.
+``repro.baselines``
+    Comparator systems used in the paper's evaluation.
+``repro.workloads``
+    Open-loop workload generators used in the paper's evaluation.
+``repro.experiments``
+    One module per paper table/figure; regenerates the reported series.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sim",
+    "hardware",
+    "kernel",
+    "uprocess",
+    "vessel",
+    "baselines",
+    "workloads",
+    "experiments",
+]

@@ -1,0 +1,75 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro                      # run every experiment (smoke)
+    python -m repro tab1 fig09           # selected experiments
+    python -m repro --list
+    python -m repro --scale paper fig09
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+EXPERIMENTS = {
+    "tab1": "repro.experiments.tab1_context_switch",
+    "fig01": "repro.experiments.fig01_colocation_cost",
+    "fig02": "repro.experiments.fig02_dense_cost",
+    "fig03": "repro.experiments.fig03_realloc_timeline",
+    "fig07": "repro.experiments.fig07_timeline",
+    "fig09": "repro.experiments.fig09_colocation",
+    "fig10": "repro.experiments.fig10_dense",
+    "fig11": "repro.experiments.fig11_cache",
+    "fig12": "repro.experiments.fig12_scalability",
+    "fig13": "repro.experiments.fig13_membw",
+    "micro": "repro.experiments.micro_uintr",
+    "ablations": "repro.experiments.ablations",
+    "sensitivity": "repro.experiments.sensitivity",
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the uProcess/VESSEL evaluation "
+                    "(SOSP 2024).")
+    parser.add_argument("experiments", nargs="*",
+                        help=f"subset of: {', '.join(EXPERIMENTS)}")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiments and exit")
+    parser.add_argument("--scale", choices=["smoke", "paper"],
+                        default="smoke")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key, module in EXPERIMENTS.items():
+            print(f"{key:12s} {module}")
+        return 0
+
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}; "
+                     f"choose from {', '.join(EXPERIMENTS)}")
+
+    from repro.experiments.common import ExperimentConfig, PAPER_PROFILE
+    cfg = ExperimentConfig(seed=args.seed)
+    if args.scale == "paper":
+        cfg = cfg.scaled(**PAPER_PROFILE)
+
+    for name in selected:
+        module = importlib.import_module(EXPERIMENTS[name])
+        print(f"\n{'=' * 72}\n{name}  ({EXPERIMENTS[name]})\n{'=' * 72}")
+        started = time.time()
+        module.main(cfg)
+        print(f"[{name} took {time.time() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

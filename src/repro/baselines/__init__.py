@@ -1,0 +1,39 @@
+"""Comparator systems from the paper's evaluation (§6.1).
+
+``caladan``
+    The state-of-the-art two-level userspace core scheduler: per-app core
+    grants through a 10 µs IOKernel allocation loop, 2 µs steal-then-park
+    idling, and the Figure 3 kernel pipeline (5.3 µs) for preemptive core
+    reallocation.  ``caladan_dr_l`` / ``caladan_dr_h`` apply the Delay
+    Range policy (0.5-1 µs and 1-4 µs).
+``arachne``
+    User-level threading with a slow (50 ms) per-app core estimator and
+    kernel-mediated core grants.
+``linux_cfs``
+    Plain CFS colocation: L-app at nice -19, B-app at nice 19, requests
+    through the kernel network stack.
+``ideal``
+    The zero-overhead scheduler used as the normalization reference.
+``mba`` / ``cgroup_bw``
+    The Figure 13b bandwidth-regulation comparators (Intel Memory
+    Bandwidth Allocation, cgroup CPU quotas).
+"""
+
+from repro.baselines.caladan import CaladanSystem, caladan_dr_l, caladan_dr_h
+from repro.baselines.arachne import ArachneSystem
+from repro.baselines.linux_cfs import LinuxCfsSystem
+from repro.baselines.ideal import IdealSystem
+from repro.baselines.mba import MbaRegulator, MBA_EFFECTIVE_FRACTION
+from repro.baselines.cgroup_bw import CgroupBandwidthRegulator
+
+__all__ = [
+    "CaladanSystem",
+    "caladan_dr_l",
+    "caladan_dr_h",
+    "ArachneSystem",
+    "LinuxCfsSystem",
+    "IdealSystem",
+    "MbaRegulator",
+    "MBA_EFFECTIVE_FRACTION",
+    "CgroupBandwidthRegulator",
+]

@@ -1,0 +1,118 @@
+"""cgroup CPU-quota bandwidth regulation (Figure 13b comparator).
+
+Linux can only regulate a tenant's memory bandwidth indirectly, by
+capping its CPU time (``cpu.max`` quota/period).  Two granularity
+problems make the result inaccurate at the timescales Figure 13b sweeps:
+
+* runtime is handed to the throttled group in multiples of the CFS
+  bandwidth slice (``sched_cfs_bandwidth_slice``, 5 ms by default), so
+  the enforced runtime per period is the quota rounded *up* to a slice —
+  at small quotas the group receives far more time (and thus bandwidth)
+  than asked;
+* unthrottling happens on a millisecond timer, adding further slack.
+
+The regulator below duty-cycles a membench thread on one core with that
+slice-quantized quota, so the measured bandwidth overshoots exactly the
+way the kernel's does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Simulator
+from repro.hardware.machine import Core
+from repro.workloads.membench import MembenchWork
+
+DEFAULT_PERIOD_NS = 20_000_000        # cpu.max period (20 ms)
+BANDWIDTH_SLICE_NS = 5_000_000        # sched_cfs_bandwidth_slice
+UNTHROTTLE_JITTER_NS = 1_000_000      # 1 ms unthrottle-timer granularity
+
+
+class CgroupBandwidthRegulator:
+    """Runs one membench thread under a cgroup CPU quota."""
+
+    def __init__(self, sim: Simulator, core: Core, work: MembenchWork,
+                 target_fraction: float,
+                 period_ns: int = DEFAULT_PERIOD_NS,
+                 slice_ns: int = BANDWIDTH_SLICE_NS) -> None:
+        if not 0.0 < target_fraction <= 1.0:
+            raise ValueError(f"target fraction out of range: {target_fraction}")
+        self.sim = sim
+        self.core = core
+        self.work = work
+        self.target_fraction = target_fraction
+        self.period_ns = period_ns
+        self.slice_ns = slice_ns
+        self._run = None
+        self._period_start = 0
+        self._ran_this_period = 0
+        self._running_since: Optional[int] = None
+        self.throttle_events = 0
+
+    # ------------------------------------------------------------------
+    def effective_runtime_ns(self) -> int:
+        """Quota rounded up to whole bandwidth slices (the overshoot)."""
+        quota = int(self.target_fraction * self.period_ns)
+        slices = (quota + self.slice_ns - 1) // self.slice_ns
+        return min(self.period_ns, slices * self.slice_ns)
+
+    def start(self) -> None:
+        self._begin_period()
+
+    # ------------------------------------------------------------------
+    def _begin_period(self) -> None:
+        self._period_start = self.sim.now
+        self._ran_this_period = 0
+        if self._run is not None and self._run.active:
+            # Still running across the period boundary: fresh budget.
+            self._running_since = self.sim.now
+            self._schedule_quota_check()
+        else:
+            self._resume()
+        self.sim.after(self.period_ns, self._begin_period)
+
+    def _resume(self) -> None:
+        if self._run is not None and self._run.active:
+            return
+        self._running_since = self.sim.now
+        self._run = self.work.start(self.core, on_done=self._iteration_done)
+        self._schedule_quota_check()
+
+    def _schedule_quota_check(self) -> None:
+        budget = self.effective_runtime_ns() - self._ran_this_period
+        if budget <= 0:
+            self._throttle()
+            return
+        self.sim.after(budget, self._quota_check)
+
+    def _quota_check(self) -> None:
+        if self._running_since is None:
+            return
+        self._settle_runtime()
+        if self._ran_this_period >= self.effective_runtime_ns():
+            self._throttle()
+
+    def _settle_runtime(self) -> None:
+        if self._running_since is not None:
+            self._ran_this_period += self.sim.now - self._running_since
+            self._running_since = self.sim.now
+
+    def _throttle(self) -> None:
+        self.throttle_events += 1
+        self._settle_runtime()
+        self._running_since = None
+        if self._run is not None and self._run.active:
+            self._run.preempt()
+        self._run = None
+        # Unthrottled at the next period boundary (plus timer slack, which
+        # we fold into the next period's start naturally).
+
+    def _iteration_done(self) -> None:
+        if self._running_since is None:
+            return  # throttled exactly at the boundary
+        self._settle_runtime()
+        if self._ran_this_period >= self.effective_runtime_ns():
+            self._throttle()
+            return
+        self._resume()

@@ -1,0 +1,60 @@
+"""Intel Memory Bandwidth Allocation (Figure 13b comparator).
+
+MBA throttles a core's memory traffic by inserting delays between
+requests.  Its control is *indirect and coarse*: the user programs a
+throttling level (10%..100% in steps of 10), but the achieved bandwidth
+is a hardware-dependent, non-linear function of that level — published
+characterizations (and the paper's Figure 13b) show the effective
+bandwidth sitting far above the programmed value at low levels.  The
+calibration table below encodes that shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hardware.membus import MemoryBus
+
+#: programmed MBA level (%) -> achieved fraction of full bandwidth
+MBA_EFFECTIVE_FRACTION: Dict[int, float] = {
+    10: 0.45,
+    20: 0.50,
+    30: 0.55,
+    40: 0.62,
+    50: 0.68,
+    60: 0.75,
+    70: 0.81,
+    80: 0.88,
+    90: 0.94,
+    100: 1.00,
+}
+
+
+class MbaRegulator:
+    """Applies an MBA throttling level to one bus tag."""
+
+    def __init__(self, bus: MemoryBus, tag: str, full_rate_gbps: float) -> None:
+        if full_rate_gbps <= 0:
+            raise ValueError(f"full rate must be positive: {full_rate_gbps}")
+        self.bus = bus
+        self.tag = tag
+        self.full_rate_gbps = full_rate_gbps
+        self.level: int = 100
+
+    @staticmethod
+    def quantize_level(target_percent: float) -> int:
+        """MBA only accepts multiples of 10 in [10, 100]; round to nearest."""
+        level = int(round(target_percent / 10.0)) * 10
+        return max(10, min(100, level))
+
+    def set_target(self, target_percent: float) -> int:
+        """Program the level closest to ``target_percent``; returns it.
+
+        The achieved bandwidth follows MBA_EFFECTIVE_FRACTION, not the
+        programmed value — that gap is the inaccuracy Figure 13b shows.
+        """
+        self.level = self.quantize_level(target_percent)
+        achieved_fraction = MBA_EFFECTIVE_FRACTION[self.level]
+        self.bus.set_tag_cap(self.tag,
+                             self.full_rate_gbps * achieved_fraction)
+        return self.level

@@ -1,0 +1,217 @@
+"""Shared experiment infrastructure.
+
+The paper's testbed (32 hyperthreads, seconds-long runs, up to 16 Mops/s)
+is too large for a Python discrete-event simulator to sweep in CI, so
+configurations are reduced: the default "smoke" profile uses 8 worker
+cores and tens of milliseconds of simulated time, and the "paper" profile
+uses 32 workers and longer windows.  Latency percentiles and orderings
+transfer across profiles; the efficiency fractions are calibrated at the
+smoke scale (with more cores a pooled queue smooths scheduler churn, so
+Caladan's modeled waste shrinks below the paper's testbed numbers — see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.units import MS
+from repro.hardware.machine import Machine
+from repro.hardware.timing import CostModel
+from repro.sched.base import ColocationSystem, SystemReport
+from repro.vessel.scheduler import VesselSystem
+from repro.baselines.arachne import ArachneSystem
+from repro.baselines.caladan import CaladanSystem, caladan_dr_l, caladan_dr_h
+from repro.baselines.ideal import IdealSystem
+from repro.baselines.linux_cfs import LinuxCfsSystem
+from repro.workloads.base import BurstySource, OpenLoopSource
+from repro.workloads.linpack import linpack_app
+from repro.workloads.membench import membench_app
+from repro.workloads.memcached import memcached_app, UsrServiceSampler
+from repro.workloads.silo import silo_app, silo_service_sampler
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by every experiment."""
+
+    num_workers: int = 8
+    sim_ms: int = 30
+    warmup_ms: int = 5
+    seed: int = 42
+    membus_gbps: float = 40.0
+    bursty: bool = False
+    connections_per_app: int = 10
+    costs: CostModel = field(default_factory=CostModel)
+
+    @property
+    def measure_ns(self) -> int:
+        return (self.sim_ms - self.warmup_ms) * MS
+
+    def scaled(self, **overrides) -> "ExperimentConfig":
+        return replace(self, **overrides)
+
+
+#: the "paper" profile: closer to the testbed scale (slow; not used in CI)
+PAPER_PROFILE = dict(num_workers=32, sim_ms=120, warmup_ms=20)
+
+
+def system_factory(name: str) -> Callable[..., ColocationSystem]:
+    factories = {
+        "ideal": IdealSystem,
+        "vessel": VesselSystem,
+        "caladan": CaladanSystem,
+        "caladan-dr-l": caladan_dr_l,
+        "caladan-dr-h": caladan_dr_h,
+        "arachne": ArachneSystem,
+        "linux-cfs": LinuxCfsSystem,
+    }
+    try:
+        return factories[name]
+    except KeyError:
+        raise ValueError(f"unknown system {name!r}; "
+                         f"choose from {sorted(factories)}") from None
+
+
+def make_l_app(kind: str, name: str, rngs: RngStreams):
+    """Returns (app, service_sampler) for an L-app kind."""
+    if kind == "memcached":
+        return (memcached_app(name),
+                UsrServiceSampler(rngs.stream(f"svc/{name}")))
+    if kind == "silo":
+        return silo_app(name), silo_service_sampler(rngs.stream(f"svc/{name}"))
+    raise ValueError(f"unknown L-app kind {kind!r}")
+
+
+def run_colocation(system_name: str, cfg: ExperimentConfig,
+                   l_specs: Sequence[Tuple[str, str, float]],
+                   b_specs: Sequence[str] = ("linpack",),
+                   bus_sensitivity: float = 0.0,
+                   caladan_bw_cap: Optional[Tuple[str, float]] = None,
+                   vessel_bw_cap: Optional[Tuple[str, float]] = None,
+                   setup_hook: Optional[Callable] = None) -> SystemReport:
+    """Build and run one colocation simulation.
+
+    ``l_specs`` rows are ``(kind, name, rate_mops)``; ``b_specs`` are
+    B-app kinds ("linpack" / "membench").  Bandwidth caps (Figure 13) are
+    ``(app_name, gbps)`` and are applied with each system's native
+    mechanism: core-granular ticks for Caladan, duty-cycling for VESSEL.
+    """
+    sim = Simulator()
+    machine = Machine(sim, cfg.costs, cfg.num_workers + 1,
+                      membus_gbps=cfg.membus_gbps)
+    rngs = RngStreams(cfg.seed)
+    workers = machine.cores[1:]
+
+    factory = system_factory(system_name)
+    kwargs = {}
+    if system_name in ("caladan", "caladan-dr-l", "caladan-dr-h") \
+            and caladan_bw_cap is not None:
+        if system_name == "caladan":
+            kwargs = {"bw_cap_app": caladan_bw_cap[0],
+                      "bw_cap_gbps": caladan_bw_cap[1]}
+        else:
+            raise ValueError("bandwidth caps only wired for plain caladan")
+    system = factory(sim, machine, rngs, worker_cores=workers, **kwargs)
+    system.bus_sensitivity = bus_sensitivity
+
+    sources = []
+    for kind, name, rate in l_specs:
+        app, sampler = make_l_app(kind, name, rngs)
+        system.add_app(app)
+        source_cls = BurstySource if cfg.bursty else OpenLoopSource
+        sources.append(source_cls(
+            sim, app, system.submit, rate, sampler,
+            rngs.stream(f"arrivals/{name}"),
+            connections=cfg.connections_per_app,
+        ))
+    for kind in b_specs:
+        if kind == "linpack":
+            system.add_app(linpack_app())
+        elif kind == "membench":
+            system.add_app(membench_app(machine.membus))
+        else:
+            raise ValueError(f"unknown B-app kind {kind!r}")
+
+    system.start()
+    if vessel_bw_cap is not None and system_name == "vessel":
+        from repro.vessel.regulation import VesselBandwidthRegulator
+        regulator = VesselBandwidthRegulator(
+            sim, system, machine.membus,
+            app_name=vessel_bw_cap[0], target_gbps=vessel_bw_cap[1])
+        regulator.start()
+    if setup_hook is not None:
+        setup_hook(sim, machine, system)
+
+    sim.at(cfg.warmup_ms * MS, system.begin_measurement)
+    sim.run(until=cfg.sim_ms * MS)
+    return system.report()
+
+
+# ----------------------------------------------------------------------
+# Normalization helpers (the footnote-1 formula)
+# ----------------------------------------------------------------------
+def l_capacity_mops(cfg: ExperimentConfig, mean_service_ns: float) -> float:
+    """Max throughput of an L-app alone on all workers (ideal RTC)."""
+    return cfg.num_workers * 1000.0 / mean_service_ns
+
+
+def normalized_total(report: SystemReport, cfg: ExperimentConfig,
+                     l_mean_service: Dict[str, float],
+                     b_alone_useful: Optional[Dict[str, float]] = None) -> float:
+    """Sum of per-app T_cur/T_max (footnote 1 of the paper).
+
+    For L-apps T_max is the alone capacity; for B-apps T_max is all
+    worker cores busy for the whole window unless ``b_alone_useful``
+    supplies a measured alone run (needed for membench, whose alone
+    throughput is bus-limited).
+    """
+    total = 0.0
+    for name, mean_ns in l_mean_service.items():
+        total += report.throughput_mops(name) / l_capacity_mops(cfg, mean_ns)
+    denom_default = report.elapsed_ns * report.num_worker_cores
+    for name, useful in report.useful_ns.items():
+        alone = (b_alone_useful or {}).get(name, denom_default)
+        if alone > 0:
+            total += useful / alone
+    return total
+
+
+# ----------------------------------------------------------------------
+# Pretty printing
+# ----------------------------------------------------------------------
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width text table (the bench harness prints these)."""
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i])
+                               for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def parse_profile(argv: Optional[List[str]] = None) -> ExperimentConfig:
+    """--scale smoke|paper command-line handling for __main__ blocks."""
+    import argparse
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", choices=["smoke", "paper"],
+                        default="smoke")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+    cfg = ExperimentConfig(seed=args.seed)
+    if args.scale == "paper":
+        cfg = cfg.scaled(**PAPER_PROFILE)
+    return cfg

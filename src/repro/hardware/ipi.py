@@ -1,0 +1,38 @@
+"""Kernel inter-processor interrupts.
+
+This is the slow signalling path the baselines depend on: the sender must
+already be (or trap) in kernel mode, delivery interrupts the victim core
+into its kernel entry point, and the handler runs in kernel context.  The
+end-to-end latency is ~15x the Uintr path (§2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.sim.engine import Simulator
+from repro.hardware.timing import CostModel
+
+IpiHandler = Callable[[int], None]
+
+
+class IpiController:
+    """Routes IPIs between cores with the kernel-path delivery latency."""
+
+    def __init__(self, sim: Simulator, costs: CostModel) -> None:
+        self.sim = sim
+        self.costs = costs
+        self._handlers: Dict[int, IpiHandler] = {}
+        self.sent: int = 0
+
+    def register_handler(self, core_id: int, handler: IpiHandler) -> None:
+        """Install the kernel interrupt handler for ``core_id``."""
+        self._handlers[core_id] = handler
+
+    def send(self, target_core_id: int, vector: int = 0) -> None:
+        """Deliver an IPI to ``target_core_id`` after the kernel-path delay."""
+        handler = self._handlers.get(target_core_id)
+        if handler is None:
+            raise KeyError(f"core {target_core_id} has no IPI handler")
+        self.sent += 1
+        self.sim.after(self.costs.ipi_deliver_ns, handler, vector)

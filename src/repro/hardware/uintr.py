@@ -1,0 +1,159 @@
+"""Userspace interrupts (Intel Uintr, §2.2).
+
+The model mirrors the architectural objects:
+
+* each receiver holds a :class:`Upid` (User Posted Interrupt Descriptor)
+  with a posted-interrupt request bitmap and a notification flag;
+* each sender holds a UITT (User Interrupt Target Table) of
+  :class:`UittEntry` rows mapping an index to a (UPID, vector) pair;
+* ``senduipi <index>`` posts the vector into the target UPID and, if the
+  receiver is currently running in user mode, delivers it after the
+  hardware delivery latency — the receiver's registered handler runs and
+  finishes with ``uiret``;
+* if the receiver is in the kernel or context-switched out, delivery is
+  *deferred* until it next returns to user mode (§2.2), which the core
+  model signals via :meth:`UintrController.on_user_resume`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.hardware.timing import CostModel
+
+VECTOR_COUNT = 64
+
+#: handler(vector) -> None; runs on the receiver core in user mode
+UintrHandler = Callable[[int], None]
+
+
+@dataclass
+class Upid:
+    """User Posted Interrupt Descriptor for one receiver context."""
+
+    receiver_id: int
+    #: posted-but-undelivered vectors (the PIR bitmap)
+    pending: int = 0
+    #: suppress notification (receiver not running in user mode)
+    suppressed: bool = True
+    handler: Optional[UintrHandler] = None
+
+    def post(self, vector: int) -> None:
+        if not 0 <= vector < VECTOR_COUNT:
+            raise ValueError(f"vector out of range: {vector}")
+        self.pending |= 1 << vector
+
+    def drain(self) -> List[int]:
+        vectors = [v for v in range(VECTOR_COUNT) if self.pending & (1 << v)]
+        self.pending = 0
+        return vectors
+
+
+@dataclass
+class UittEntry:
+    """One row of a sender's User Interrupt Target Table."""
+
+    upid: Upid
+    vector: int
+
+
+class UintrController:
+    """Send/receive machinery shared by all cores of a machine.
+
+    Receivers register with :meth:`register_handler` (the
+    ``uintr_register_handler()`` syscall analogue, charged separately by
+    the kernel layer); senders build UITT entries with
+    :meth:`register_sender` and fire with :meth:`senduipi`.
+    """
+
+    def __init__(self, sim: Simulator, costs: CostModel) -> None:
+        self.sim = sim
+        self.costs = costs
+        self._upids: Dict[int, Upid] = {}
+        self._uitts: Dict[int, List[UittEntry]] = {}
+        self.sent: int = 0
+        self.delivered: int = 0
+        self.deferred: int = 0
+
+    # ---------------------------------------------------------------
+    # Receiver side
+    # ---------------------------------------------------------------
+    def register_handler(self, receiver_id: int, handler: UintrHandler) -> Upid:
+        upid = self._upids.get(receiver_id)
+        if upid is None:
+            upid = Upid(receiver_id=receiver_id)
+            self._upids[receiver_id] = upid
+        upid.handler = handler
+        return upid
+
+    def upid_of(self, receiver_id: int) -> Upid:
+        upid = self._upids.get(receiver_id)
+        if upid is None:
+            raise KeyError(f"receiver {receiver_id} has no registered UPID")
+        return upid
+
+    def on_user_resume(self, receiver_id: int) -> None:
+        """Receiver returned to user mode: deliver any deferred vectors."""
+        upid = self._upids.get(receiver_id)
+        if upid is None:
+            return
+        upid.suppressed = False
+        if upid.pending:
+            self.sim.after(self.costs.uintr_deliver_ns, self._deliver, upid)
+
+    def on_user_suspend(self, receiver_id: int) -> None:
+        """Receiver left user mode: notifications are suppressed."""
+        upid = self._upids.get(receiver_id)
+        if upid is not None:
+            upid.suppressed = True
+
+    # ---------------------------------------------------------------
+    # Sender side
+    # ---------------------------------------------------------------
+    def register_sender(self, sender_id: int, receiver_id: int, vector: int) -> int:
+        """Create a UITT entry for ``sender_id``; returns its index."""
+        upid = self.upid_of(receiver_id)
+        table = self._uitts.setdefault(sender_id, [])
+        table.append(UittEntry(upid=upid, vector=vector))
+        return len(table) - 1
+
+    def senduipi(self, sender_id: int, index: int) -> None:
+        """Post an interrupt through UITT entry ``index``.
+
+        If the receiver is running in user mode, the handler fires after
+        the hardware delivery latency; otherwise the vector stays posted
+        in the UPID until :meth:`on_user_resume`.
+        """
+        table = self._uitts.get(sender_id)
+        if table is None or not 0 <= index < len(table):
+            raise IndexError(f"sender {sender_id} has no UITT entry {index}")
+        entry = table[index]
+        entry.upid.post(entry.vector)
+        self.sent += 1
+        if entry.upid.suppressed:
+            self.deferred += 1
+            return
+        self.sim.after(
+            self.costs.uintr_send_ns + self.costs.uintr_deliver_ns,
+            self._deliver,
+            entry.upid,
+        )
+
+    # ---------------------------------------------------------------
+    def _deliver(self, upid: Upid) -> None:
+        if upid.suppressed or not upid.pending:
+            # The receiver left user mode (or was already drained) between
+            # posting and delivery; the vector stays pending.
+            return
+        handler = upid.handler
+        vectors = upid.drain()
+        if handler is None:
+            raise RuntimeError(
+                f"uintr delivered to receiver {upid.receiver_id} "
+                "with no registered handler"
+            )
+        for vector in vectors:
+            self.delivered += 1
+            handler(vector)

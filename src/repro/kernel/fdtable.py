@@ -1,0 +1,64 @@
+"""Per-process file-descriptor tables.
+
+These exist to model the §5.2.4 problem concretely: uProcesses scheduled
+inside arbitrary kProcesses would otherwise share one kernel fd table, so
+uProcess B could brute-force descriptors created by uProcess A (security)
+and uProcess A, rescheduled into another kProcess, would find its own
+descriptors missing (correctness).  The VESSEL runtime's syscall proxy
+(``repro.vessel.runtime``) layers its own per-uProcess descriptor map on
+top of these tables and the tests demonstrate both failure modes without
+the proxy and their absence with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class FileDescription:
+    """An open-file object (what a descriptor points at)."""
+
+    path: str
+    owner_label: str = ""
+    offset: int = 0
+    refcount: int = 1
+
+
+class FdTable:
+    """POSIX-style descriptor table: lowest free integer allocation."""
+
+    def __init__(self) -> None:
+        self._table: Dict[int, FileDescription] = {}
+
+    def install(self, description: FileDescription) -> int:
+        """Assign the lowest unused descriptor number."""
+        fd = 0
+        while fd in self._table:
+            fd += 1
+        self._table[fd] = description
+        return fd
+
+    def lookup(self, fd: int) -> Optional[FileDescription]:
+        return self._table.get(fd)
+
+    def close(self, fd: int) -> FileDescription:
+        if fd not in self._table:
+            raise KeyError(f"EBADF: fd {fd} is not open")
+        description = self._table.pop(fd)
+        description.refcount -= 1
+        return description
+
+    def dup(self, fd: int) -> int:
+        description = self.lookup(fd)
+        if description is None:
+            raise KeyError(f"EBADF: fd {fd} is not open")
+        description.refcount += 1
+        return self.install(description)
+
+    def open_fds(self) -> Dict[int, FileDescription]:
+        return dict(self._table)
+
+    def __len__(self) -> int:
+        return len(self._table)

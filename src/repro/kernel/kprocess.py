@@ -1,0 +1,83 @@
+"""Kernel processes and threads (the paper's "kProcess").
+
+A :class:`KProcess` owns an isolated :class:`AddressSpaceMap` and an fd
+table; :class:`KThread` carries the scheduling state CFS needs.  The
+uProcess manager creates one kProcess per uProcess (§5.1) but then
+schedules application threads across them in userspace — which is exactly
+why descriptor access control has to move into the VESSEL runtime.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, List, Optional
+
+from repro.hardware.mpk import AddressSpaceMap
+from repro.kernel.fdtable import FdTable
+
+_pid_counter = itertools.count(1)
+_tid_counter = itertools.count(1)
+
+
+class ThreadState(enum.Enum):
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    SLEEPING = "sleeping"
+    DEAD = "dead"
+
+
+class KThread:
+    """A kernel-visible thread."""
+
+    def __init__(self, process: "KProcess", name: str = "") -> None:
+        self.tid = next(_tid_counter)
+        self.process = process
+        self.name = name or f"thread-{self.tid}"
+        self.state = ThreadState.RUNNABLE
+        # CFS state
+        self.nice = process.nice
+        self.vruntime = 0.0
+        self.last_core: Optional[int] = None
+        #: opaque payload the scheduling systems attach (current request...)
+        self.payload = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<KThread {self.name} tid={self.tid} {self.state.value}>"
+
+
+class KProcess:
+    """A kernel process: address space + fd table + threads."""
+
+    def __init__(self, name: str, nice: int = 0,
+                 parent: Optional["KProcess"] = None) -> None:
+        if not -20 <= nice <= 19:
+            raise ValueError(f"nice {nice} out of range [-20, 19]")
+        self.pid = next(_pid_counter)
+        self.name = name
+        self.nice = nice
+        self.parent = parent
+        self.aspace = AddressSpaceMap(name=f"{name}/aspace")
+        self.fdtable = FdTable()
+        self.threads: List[KThread] = []
+        self.children: List["KProcess"] = []
+        self.alive = True
+        #: pinned core, if any (sched_setaffinity with one CPU)
+        self.bound_core: Optional[int] = None
+        #: signal handlers registered by the process {signo: handler}
+        self.signal_handlers: Dict[int, object] = {}
+
+    def spawn_thread(self, name: str = "") -> KThread:
+        if not self.alive:
+            raise RuntimeError(f"process {self.name} is dead")
+        thread = KThread(self, name)
+        self.threads.append(thread)
+        return thread
+
+    def kill(self) -> None:
+        self.alive = False
+        for thread in self.threads:
+            thread.state = ThreadState.DEAD
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<KProcess {self.name} pid={self.pid} nice={self.nice}>"

@@ -1,0 +1,69 @@
+"""POSIX-signal posting and delivery.
+
+Used in two places: Caladan's reallocation pipeline delivers a SIGUSR to
+the victim application so its runtime saves state (Figure 3), and
+uProcess's fault-shielding design (§4.3) registers fault-signal handlers
+in the runtime and proxies them to the faulting uProcess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.sim.engine import Simulator
+from repro.hardware.timing import CostModel
+from repro.kernel.kprocess import KProcess
+
+SIGSEGV = 11
+SIGUSR1 = 10
+SIGTERM = 15
+SIGKILL = 9
+
+#: signals whose default disposition kills the process
+FATAL_BY_DEFAULT = frozenset({SIGSEGV, SIGTERM, SIGKILL})
+
+
+@dataclass
+class Signal:
+    signo: int
+    value: int = 0
+    tid: Optional[int] = None
+
+
+SignalHandler = Callable[[KProcess, Signal], None]
+
+
+class KernelSignals:
+    """Registers handlers and delivers signals with the kernel-path delay."""
+
+    def __init__(self, sim: Simulator, costs: CostModel) -> None:
+        self.sim = sim
+        self.costs = costs
+        self._handlers: Dict[Tuple[int, int], SignalHandler] = {}
+        self.delivered: int = 0
+        self.killed: int = 0
+
+    def register(self, proc: KProcess, signo: int,
+                 handler: SignalHandler) -> None:
+        """sigaction() analogue.  SIGKILL cannot be caught."""
+        if signo == SIGKILL:
+            raise ValueError("SIGKILL cannot be caught")
+        self._handlers[(proc.pid, signo)] = handler
+
+    def post(self, proc: KProcess, signal: Signal) -> None:
+        """Queue ``signal`` for delivery after the kernel signal path."""
+        self.sim.after(self.costs.signal_deliver_ns, self._deliver,
+                       proc, signal)
+
+    def _deliver(self, proc: KProcess, signal: Signal) -> None:
+        if not proc.alive:
+            return
+        self.delivered += 1
+        handler = self._handlers.get((proc.pid, signal.signo))
+        if handler is not None and signal.signo != SIGKILL:
+            handler(proc, signal)
+            return
+        if signal.signo in FATAL_BY_DEFAULT:
+            proc.kill()
+            self.killed += 1

@@ -1,0 +1,160 @@
+"""The syscall layer.
+
+Every kernel-mediated operation the reproduction needs goes through one
+:class:`SyscallLayer` instance, which mutates the functional state
+(address-space maps, fd tables, processes) and accounts the trap cost of
+each call.  The performance-layer schedulers charge these costs to cores
+explicitly; the functional tests only check semantics and the recorded
+counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.hardware.mpk import (
+    AddressSpaceMap,
+    Permission,
+    Region,
+    PKEY_COUNT,
+)
+from repro.hardware.timing import CostModel
+from repro.kernel.fdtable import FileDescription
+from repro.kernel.kprocess import KProcess
+
+
+class SyscallError(OSError):
+    """A syscall returned an error (message carries the errno name)."""
+
+
+class SyscallLayer:
+    """Executes syscalls against the functional state and accounts costs."""
+
+    def __init__(self, costs: Optional[CostModel] = None) -> None:
+        self.costs = costs or CostModel()
+        self.counts: Dict[str, int] = {}
+        self.total_ns: int = 0
+        self._pkeys: Dict[int, Set[int]] = {}  # id(aspace) -> allocated keys
+
+    # ------------------------------------------------------------------
+    def _account(self, name: str, cost_ns: int) -> None:
+        self.counts[name] = self.counts.get(name, 0) + 1
+        self.total_ns += cost_ns
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def mmap(self, aspace: AddressSpaceMap, start: int, size: int,
+             perms: Permission, name: str = "") -> Region:
+        self._account("mmap", self.costs.syscall_ns)
+        if size <= 0:
+            raise SyscallError(f"EINVAL: mmap size {size}")
+        return aspace.map(Region(start=start, size=size, perms=perms,
+                                 pkey=0, name=name))
+
+    def munmap(self, aspace: AddressSpaceMap, region: Region) -> None:
+        self._account("munmap", self.costs.syscall_ns)
+        aspace.unmap(region)
+
+    def mprotect(self, aspace: AddressSpaceMap, region: Region,
+                 perms: Permission) -> None:
+        self._account("mprotect", self.costs.syscall_ns)
+        aspace.set_perms(region, perms)
+
+    def pkey_alloc(self, aspace: AddressSpaceMap) -> int:
+        """Allocate a protection key in ``aspace``; key 0 stays reserved."""
+        self._account("pkey_alloc", self.costs.pkey_syscall_ns)
+        allocated = self._pkeys.setdefault(id(aspace), set())
+        for pkey in range(1, PKEY_COUNT):
+            if pkey not in allocated:
+                allocated.add(pkey)
+                return pkey
+        raise SyscallError("ENOSPC: no free protection keys")
+
+    def pkey_free(self, aspace: AddressSpaceMap, pkey: int) -> None:
+        self._account("pkey_free", self.costs.pkey_syscall_ns)
+        allocated = self._pkeys.setdefault(id(aspace), set())
+        if pkey not in allocated:
+            raise SyscallError(f"EINVAL: pkey {pkey} not allocated")
+        allocated.remove(pkey)
+
+    def pkey_mprotect(self, aspace: AddressSpaceMap, region: Region,
+                      pkey: int) -> None:
+        """Bind ``region`` to ``pkey`` (must be allocated in ``aspace``)."""
+        self._account("pkey_mprotect", self.costs.pkey_syscall_ns)
+        allocated = self._pkeys.get(id(aspace), set())
+        if pkey != 0 and pkey not in allocated:
+            raise SyscallError(f"EINVAL: pkey {pkey} not allocated")
+        aspace.set_pkey(region, pkey)
+
+    def allocated_pkeys(self, aspace: AddressSpaceMap) -> Set[int]:
+        return set(self._pkeys.get(id(aspace), set()))
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def fork(self, parent: KProcess, name: str = "") -> KProcess:
+        """Clone ``parent``: copied address-space layout, shared-by-copy fds."""
+        self._account("fork", 20 * self.costs.syscall_ns)
+        child = KProcess(name or f"{parent.name}-child", nice=parent.nice,
+                         parent=parent)
+        for region in parent.aspace.regions():
+            child.aspace.map(Region(start=region.start, size=region.size,
+                                    perms=region.perms, pkey=region.pkey,
+                                    name=region.name))
+        for fd, description in parent.fdtable.open_fds().items():
+            description.refcount += 1
+            child.fdtable._table[fd] = description
+        parent.children.append(child)
+        return child
+
+    def sched_setaffinity(self, proc: KProcess, core_id: int) -> None:
+        self._account("sched_setaffinity", self.costs.syscall_ns)
+        proc.bound_core = core_id
+
+    def ioctl(self, proc: KProcess, request: str) -> None:
+        """Generic ioctl (Caladan's scheduler uses one to fire the IPI)."""
+        self._account(f"ioctl:{request}", self.costs.syscall_ns)
+
+    # ------------------------------------------------------------------
+    # Files
+    # ------------------------------------------------------------------
+    def open(self, proc: KProcess, path: str, owner_label: str = "") -> int:
+        self._account("open", self.costs.syscall_ns)
+        return proc.fdtable.install(
+            FileDescription(path=path, owner_label=owner_label)
+        )
+
+    def close(self, proc: KProcess, fd: int) -> None:
+        self._account("close", self.costs.syscall_ns)
+        try:
+            proc.fdtable.close(fd)
+        except KeyError as exc:
+            raise SyscallError(str(exc)) from exc
+
+    def read_fd(self, proc: KProcess, fd: int) -> FileDescription:
+        """Dereference a descriptor (stands in for read/write/fstat...)."""
+        self._account("read", self.costs.syscall_ns)
+        description = proc.fdtable.lookup(fd)
+        if description is None:
+            raise SyscallError(f"EBADF: fd {fd}")
+        return description
+
+    # ------------------------------------------------------------------
+    # Signals / Uintr setup
+    # ------------------------------------------------------------------
+    def sigqueue(self, target: KProcess, signo: int, value: int = 0,
+                 tid: Optional[int] = None) -> Tuple[int, int, Optional[int]]:
+        """Queue a signal; delivery is the KernelSignals module's job.
+
+        ``tid`` models the §5.3 extension of addressing a specific thread.
+        """
+        self._account("sigqueue", self.costs.syscall_ns)
+        if not target.alive:
+            raise SyscallError(f"ESRCH: process {target.pid} is dead")
+        return (target.pid, signo, tid)
+
+    def uintr_register_handler(self, proc: KProcess, handler) -> None:
+        """Register a userspace-interrupt handler (one-time setup trap)."""
+        self._account("uintr_register_handler", self.costs.syscall_ns)
+        proc.signal_handlers["uintr"] = handler

@@ -1,0 +1,12 @@
+"""Shared infrastructure for the colocation scheduler systems.
+
+Every system under test (VESSEL, Caladan and its Delay-Range variants,
+Arachne, Linux CFS, and the zero-overhead ideal scheduler) implements the
+:class:`~repro.sched.base.ColocationSystem` interface, so the experiment
+harness can swep systems interchangeably over identical machines, apps,
+and arrival processes.
+"""
+
+from repro.sched.base import ColocationSystem, SystemReport
+
+__all__ = ["ColocationSystem", "SystemReport"]

@@ -1,0 +1,181 @@
+"""The common harness every scheduler system plugs into.
+
+Accounting convention (used by Figures 1b, 2, 9, 10, 12, 13):
+
+* ``app:<name>`` — cycles spent executing that application's logic
+  (request service for L-apps, batch chunks for B-apps);
+* ``runtime``    — userspace scheduling work: spinning, stealing,
+  userspace switches, parked-core polling;
+* ``kernel``     — traps, IPIs, signal delivery, kernel context switches,
+  the Figure 3 reallocation pipeline;
+* ``idle``       — nothing to run (UMWAIT).
+
+The *total normalized throughput* of the paper's Figure 1/9 is then the
+fraction of worker-core time in ``app:*`` buckets, optionally normalized
+per app against an "alone" run (the experiments do that normalization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.stats import summarize_ns
+from repro.hardware.machine import Core, Machine
+from repro.workloads.base import App, Request
+
+
+@dataclass
+class SystemReport:
+    """Everything an experiment needs from one simulation run."""
+
+    system: str
+    elapsed_ns: int
+    num_worker_cores: int
+    #: aggregated worker-core accounting buckets (ns)
+    buckets: Dict[str, int] = field(default_factory=dict)
+    #: per L-app latency summaries (summarize_ns output)
+    latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: per L-app completed ops
+    completed: Dict[str, int] = field(default_factory=dict)
+    #: per B-app useful nanoseconds
+    useful_ns: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def throughput_mops(self, app_name: str) -> float:
+        """Completed ops per microsecond (== Mops/s) for an L-app."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.completed.get(app_name, 0) * 1000.0 / self.elapsed_ns
+
+    def app_core_seconds(self, app_name: str) -> int:
+        return self.buckets.get(f"app:{app_name}", 0)
+
+    def cores_equivalent(self, category: str) -> float:
+        """Busy time of one bucket expressed in cores."""
+        denom = self.elapsed_ns * self.num_worker_cores
+        if denom <= 0:
+            return 0.0
+        if category == "app":
+            busy = sum(v for k, v in self.buckets.items()
+                       if k.startswith("app:"))
+        else:
+            busy = self.buckets.get(category, 0)
+        return busy * self.num_worker_cores / denom
+
+    def app_fraction(self) -> float:
+        """Fraction of worker-core time doing application work."""
+        total = self.elapsed_ns * self.num_worker_cores
+        if total <= 0:
+            return 0.0
+        busy = sum(v for k, v in self.buckets.items() if k.startswith("app:"))
+        return busy / total
+
+    def waste_fraction(self) -> float:
+        """Fraction of worker-core time in runtime+kernel overhead."""
+        total = self.elapsed_ns * self.num_worker_cores
+        if total <= 0:
+            return 0.0
+        waste = self.buckets.get("runtime", 0) + self.buckets.get("kernel", 0)
+        return waste / total
+
+    def p999_us(self, app_name: str) -> float:
+        return self.latency.get(app_name, {}).get("p999_us", float("nan"))
+
+
+class ColocationSystem:
+    """Base class: apps, submission, measurement windows, reporting."""
+
+    name = "base"
+
+    def __init__(self, sim: Simulator, machine: Machine, rngs: RngStreams,
+                 worker_cores: Optional[List[Core]] = None) -> None:
+        self.sim = sim
+        self.machine = machine
+        self.costs = machine.costs
+        self.rngs = rngs
+        #: cores running application work; by convention core 0 is
+        #: reserved for the system's scheduler / IOKernel when the system
+        #: needs one, so default workers are cores[1:].
+        self.worker_cores = worker_cores if worker_cores is not None \
+            else machine.cores[1:]
+        if not self.worker_cores:
+            raise ValueError("need at least one worker core")
+        self.apps: List[App] = []
+        self._measuring_since: Optional[int] = None
+        #: how strongly memory-bus contention inflates request service
+        #: times (0 = decoupled; Figure 13a uses a positive value).  The
+        #: inflation applies above a half-loaded bus:
+        #:   service' = service * (1 + sensitivity * max(0, util - 0.5))
+        self.bus_sensitivity: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def latency_apps(self) -> List[App]:
+        return [app for app in self.apps if app.is_latency]
+
+    @property
+    def batch_apps(self) -> List[App]:
+        return [app for app in self.apps if not app.is_latency]
+
+    def add_app(self, app: App) -> None:
+        if any(existing.name == app.name for existing in self.apps):
+            raise ValueError(f"duplicate app name {app.name!r}")
+        self.apps.append(app)
+
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Open-loop intake; subclasses react in ``on_arrival``."""
+        request.app.enqueue(request)
+        self.on_arrival(request.app, request)
+
+    def on_arrival(self, app: App, request: Request) -> None:
+        raise NotImplementedError
+
+    def effective_service_ns(self, request: Request) -> int:
+        """Service time inflated by current memory-bus contention."""
+        if self.bus_sensitivity <= 0.0:
+            return request.service_ns
+        over = max(0.0, self.machine.membus.utilization() - 0.5)
+        return int(request.service_ns * (1.0 + self.bus_sensitivity * over))
+
+    def start(self) -> None:
+        """Begin scheduling (called once, before sim.run)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Measurement window control
+    # ------------------------------------------------------------------
+    def begin_measurement(self) -> None:
+        """Discard warmup statistics; call mid-simulation via sim.at()."""
+        for app in self.apps:
+            app.reset_measurements()
+        for core in self.worker_cores:
+            core.settle()
+            core.acct.clear()
+        self._measuring_since = self.sim.now
+
+    def report(self) -> SystemReport:
+        since = self._measuring_since if self._measuring_since is not None \
+            else 0
+        elapsed = self.sim.now - since
+        buckets: Dict[str, int] = {}
+        for core in self.worker_cores:
+            core.settle()
+            for category, value in core.acct.buckets.items():
+                buckets[category] = buckets.get(category, 0) + value
+        rep = SystemReport(
+            system=self.name,
+            elapsed_ns=elapsed,
+            num_worker_cores=len(self.worker_cores),
+            buckets=buckets,
+        )
+        for app in self.apps:
+            if app.is_latency:
+                rep.latency[app.name] = summarize_ns(app.latency.samples)
+                rep.completed[app.name] = app.completed.value
+            else:
+                rep.useful_ns[app.name] = app.useful_ns
+        return rep

@@ -1,0 +1,159 @@
+"""The discrete-event engine.
+
+A :class:`Simulator` owns an integer nanosecond clock and a binary heap of
+:class:`Event` handles.  Events are cancellable: schedulers in this codebase
+constantly schedule "completion" events for running work and cancel them when
+the work is preempted, so cancellation must be O(1) (we mark the handle dead
+and skip it when popped, the standard lazy-deletion approach).
+
+Determinism: two events scheduled for the same timestamp fire in the order
+they were scheduled (a monotone sequence number breaks ties), so a simulation
+with a fixed RNG seed replays identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the engine (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Simulator.at` / :meth:`Simulator.after`
+    and can be cancelled with :meth:`cancel`.  The callback fires at
+    ``time`` with the positional arguments given at scheduling time.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "_alive")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self._alive = True
+
+    @property
+    def alive(self) -> bool:
+        """Whether the event is still pending (not fired, not cancelled)."""
+        return self._alive
+
+    def cancel(self) -> None:
+        """Cancel the event; cancelling a dead event is a no-op."""
+        self._alive = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending" if self._alive else "dead"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time} {name} {state}>"
+
+
+class Simulator:
+    """Event loop with an integer nanosecond clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.after(1_000, handler, arg)
+        sim.run(until=1_000_000)
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[Event] = []
+        self._seq: int = 0
+        self._running = False
+        self._stopped = False
+        self.events_fired: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        self._seq += 1
+        event = Event(int(time), self._seq, fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` ``delay`` nanoseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self.now + int(delay), fn, *args)
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at the current time (after pending events)."""
+        return self.at(self.now, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def peek(self) -> Optional[int]:
+        """Timestamp of the next live event, or None if the heap is empty."""
+        self._drop_dead()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def step(self) -> bool:
+        """Fire the next live event.  Returns False if none remain."""
+        self._drop_dead()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self.now = event.time
+        event._alive = False
+        self.events_fired += 1
+        event.fn(*event.args)
+        return True
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the heap drains, ``until`` is reached, or :meth:`stop`.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so time-weighted statistics
+        close their final interval consistently.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event finishes."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of live events still scheduled."""
+        return sum(1 for e in self._heap if e._alive)
+
+    # ------------------------------------------------------------------
+    def _drop_dead(self) -> None:
+        heap = self._heap
+        while heap and not heap[0]._alive:
+            heapq.heappop(heap)

@@ -1,0 +1,121 @@
+"""A minimal coroutine-style process abstraction on top of the engine.
+
+Workload drivers that are naturally sequential (e.g. membench's alternating
+memory/compute phases, the manager's boot protocol) are clearer as generator
+coroutines than as hand-written state machines.  A :class:`Proc` wraps a
+generator that yields:
+
+* :class:`Timeout` — resume after a delay;
+* :class:`WaitFor` — resume when another :class:`Proc` finishes.
+
+Processes can be interrupted: :meth:`Proc.interrupt` raises
+:class:`Interrupt` inside the generator at the current simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator by :meth:`Proc.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Timeout:
+    """Yield value: resume the process after ``delay`` nanoseconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: int) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout {delay}")
+        self.delay = int(delay)
+
+
+class WaitFor:
+    """Yield value: resume when ``proc`` has finished."""
+
+    __slots__ = ("proc",)
+
+    def __init__(self, proc: "Proc") -> None:
+        self.proc = proc
+
+
+class Proc:
+    """A running generator coroutine scheduled on a :class:`Simulator`."""
+
+    def __init__(self, sim: Simulator, gen: Generator, name: str = "") -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "proc")
+        self.finished = False
+        self.result: Any = None
+        self._pending: Optional[Event] = None
+        self._waiters: list = []
+        sim.call_soon(self._resume, None, None)
+
+    # ------------------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt the process at the current time.
+
+        The pending timeout (if any) is cancelled and :class:`Interrupt`
+        is raised inside the generator.  Interrupting a finished process
+        is an error, since the caller's model of the world is stale.
+        """
+        if self.finished:
+            raise SimulationError(f"interrupting finished process {self.name}")
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self.sim.call_soon(self._resume, None, Interrupt(cause))
+
+    # ------------------------------------------------------------------
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.finished:
+            return
+        self._pending = None
+        try:
+            if exc is not None:
+                command = self.gen.throw(exc)
+            else:
+                command = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupt:
+            # The generator chose not to handle its interruption; treat as
+            # completion with no result.
+            self._finish(None)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Timeout):
+            self._pending = self.sim.after(command.delay, self._resume, None, None)
+        elif isinstance(command, WaitFor):
+            target = command.proc
+            if target.finished:
+                self.sim.call_soon(self._resume, target.result, None)
+            else:
+                target._waiters.append(self)
+        else:
+            raise SimulationError(
+                f"process {self.name} yielded unsupported value {command!r}"
+            )
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            self.sim.call_soon(waiter._resume, result, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.finished else "running"
+        return f"<Proc {self.name} {state}>"

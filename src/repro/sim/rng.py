@@ -1,0 +1,44 @@
+"""Deterministic named RNG streams.
+
+Every stochastic component (each workload's arrival process, each service
+time sampler, the cache address stream, ...) draws from its own named
+stream so that adding a new component never perturbs the draws seen by
+existing ones.  Streams are derived from a single root seed via SHA-256 of
+``(root_seed, name)``, so the mapping is stable across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RngStreams:
+    """Factory of independent, reproducible ``random.Random`` streams."""
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self.root_seed = int(root_seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use.
+
+        Repeated calls with the same name return the same object (the
+        stream's state advances as it is consumed).
+        """
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(
+                f"{self.root_seed}/{name}".encode("utf-8")
+            ).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng
+
+    def spawn(self, name: str) -> "RngStreams":
+        """Derive a child factory whose streams are independent of ours."""
+        digest = hashlib.sha256(
+            f"{self.root_seed}/spawn/{name}".encode("utf-8")
+        ).digest()
+        return RngStreams(int.from_bytes(digest[:8], "big"))

@@ -1,0 +1,178 @@
+"""Measurement primitives.
+
+The paper reports three kinds of quantities and each has a recorder here:
+
+* request latencies and their percentiles (P50/P90/P99/P999) —
+  :class:`LatencyRecorder`;
+* throughput / operation counts — :class:`Counter`;
+* where CPU time went (application logic vs. runtime vs. kernel vs. idle,
+  Figures 1b and 2) — :class:`BusyAccounter`;
+* values tracked over time (granted cores, consumed bandwidth) —
+  :class:`TimeWeightedValue`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+
+def summarize_ns(samples: List[int]) -> Dict[str, float]:
+    """Summary of latency samples in microseconds.
+
+    Returns mean and the percentiles the paper's Table 1 reports; an empty
+    sample list yields NaNs so that report code does not special-case it.
+    """
+    if not samples:
+        nan = float("nan")
+        return {"count": 0, "avg_us": nan, "p50_us": nan, "p90_us": nan,
+                "p99_us": nan, "p999_us": nan, "max_us": nan}
+    arr = np.asarray(samples, dtype=np.float64) / 1_000.0
+    p50, p90, p99, p999 = np.percentile(arr, [50, 90, 99, 99.9])
+    return {
+        "count": int(arr.size),
+        "avg_us": float(arr.mean()),
+        "p50_us": float(p50),
+        "p90_us": float(p90),
+        "p99_us": float(p99),
+        "p999_us": float(p999),
+        "max_us": float(arr.max()),
+    }
+
+
+class LatencyRecorder:
+    """Accumulates latency samples (integer nanoseconds)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.samples: List[int] = []
+
+    def record(self, latency_ns: int) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency {latency_ns}")
+        self.samples.append(latency_ns)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean_us(self) -> float:
+        if not self.samples:
+            return float("nan")
+        return sum(self.samples) / len(self.samples) / 1_000.0
+
+    def percentile_us(self, pct: float) -> float:
+        if not self.samples:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.samples), pct)) / 1_000.0
+
+    def summary(self) -> Dict[str, float]:
+        return summarize_ns(self.samples)
+
+    def clear(self) -> None:
+        self.samples.clear()
+
+
+class Counter:
+    """A monotone operation counter with throughput helpers."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value: int = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"negative increment {amount}")
+        self.value += amount
+
+    def rate_per_sec(self, elapsed_ns: int) -> float:
+        """Operations per second over ``elapsed_ns`` of simulated time."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.value * 1e9 / elapsed_ns
+
+    def clear(self) -> None:
+        self.value = 0
+
+
+class TimeWeightedValue:
+    """Tracks a piecewise-constant value and integrates it over time."""
+
+    def __init__(self, sim, initial: float = 0.0) -> None:
+        self._sim = sim
+        self._value = float(initial)
+        self._last_change = sim.now
+        self._integral = 0.0
+        self._start = sim.now
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        now = self._sim.now
+        self._integral += self._value * (now - self._last_change)
+        self._value = float(value)
+        self._last_change = now
+
+    def add(self, delta: float) -> None:
+        self.set(self._value + delta)
+
+    def time_average(self) -> float:
+        """Average value from construction (or last reset) until now."""
+        now = self._sim.now
+        elapsed = now - self._start
+        if elapsed <= 0:
+            return self._value
+        integral = self._integral + self._value * (now - self._last_change)
+        return integral / elapsed
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._start = self._sim.now
+        self._last_change = self._sim.now
+
+
+class BusyAccounter:
+    """Attributes elapsed core time to named categories.
+
+    Categories used throughout the reproduction: ``"app"`` (application
+    logic), ``"runtime"`` (userspace scheduler/runtime work, including
+    spinning and stealing), ``"kernel"`` (traps, IPIs, kernel context
+    switches), and ``"idle"``.  Figures 1b and 2 are produced directly from
+    these buckets.
+    """
+
+    def __init__(self) -> None:
+        self.buckets: Dict[str, int] = {}
+
+    def charge(self, category: str, elapsed_ns: int) -> None:
+        if elapsed_ns < 0:
+            raise ValueError(f"negative charge {elapsed_ns}")
+        self.buckets[category] = self.buckets.get(category, 0) + elapsed_ns
+
+    def total(self) -> int:
+        return sum(self.buckets.values())
+
+    def fraction(self, category: str) -> float:
+        total = self.total()
+        if total == 0:
+            return 0.0
+        return self.buckets.get(category, 0) / total
+
+    def cores_equivalent(self, category: str, elapsed_ns: int) -> float:
+        """Busy time in ``category`` expressed as a number of cores."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.buckets.get(category, 0) / elapsed_ns
+
+    def merged(self, other: "BusyAccounter") -> "BusyAccounter":
+        out = BusyAccounter()
+        for src in (self, other):
+            for key, val in src.buckets.items():
+                out.buckets[key] = out.buckets.get(key, 0) + val
+        return out
+
+    def clear(self) -> None:
+        self.buckets.clear()

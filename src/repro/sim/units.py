@@ -1,0 +1,20 @@
+"""Time units for the simulation.
+
+The simulated clock is an integer count of nanoseconds.  These constants
+exist so that configuration code reads as ``5 * US`` instead of ``5000``.
+"""
+
+NS = 1
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
+
+
+def ns_to_us(value_ns: float) -> float:
+    """Convert nanoseconds to (possibly fractional) microseconds."""
+    return value_ns / US
+
+
+def us_to_ns(value_us: float) -> int:
+    """Convert microseconds to integer nanoseconds (rounded)."""
+    return int(round(value_us * US))

@@ -1,0 +1,82 @@
+"""The uProcess abstraction (§3-§5 of the paper).
+
+uProcesses are processes rearchitected to share one address space (the
+SMAS) so a CPU core can switch between applications with plain jumps and
+a PKRU write — no kernel involvement.  The ingredients:
+
+``smas``
+    The shared memory address space: region layout (Figure 5), protection
+    key assignment, the per-application and runtime PKRU values, and the
+    read-only message pipe (CPUID_TO_TASK_MAP, CPUID_TO_RUNTIME_MAP, the
+    function-pointer vector).
+``uproc``
+    The uProcess object itself: backing kProcess, regions, heap, threads,
+    runtime-managed descriptor table, lifecycle state.
+``allocator``
+    The jemalloc-style arena allocator that manages each uProcess region
+    (glibc's allocator cannot cope with the shared layout, §5.2.3).
+``loader``
+    The program loader (§5.2.1): static WRPKRU inspection, PIE
+    enforcement, text installed executable-only, dlopen-style on-demand
+    loading through the runtime.
+``callgate``
+    The Listing-1 call gate with the §4.2 defenses (function-pointer
+    vector instead of PLT, runtime stack switch, PKRU recheck loop).
+``attacks``
+    Executable models of the attack classes §4.2 defends against; used by
+    the security test-suite and the security example.
+``threads``
+    Userspace thread contexts, stacks, and TLS (§5.2.2).
+``usignals``
+    Per-core FIFO command queues, Uintr dispatch, and kernel-fault
+    proxying/shielding (§4.3).
+``switch``
+    The Figure 6 userspace context-switch workflow with its cost model.
+``manager``
+    The VESSEL manager (§5.1): SMAS creation, uProcess creation via a
+    forked booting kProcess, destruction, and uProcess cloning (§5.3).
+``domain``
+    Scheduling domains: up to 13 uProcesses sharing one SMAS.
+"""
+
+from repro.uprocess.smas import Smas, SmasSlot, MessagePipe, SmasError
+from repro.uprocess.uproc import UProcess, UProcessState
+from repro.uprocess.allocator import RegionAllocator, OutOfMemoryError
+from repro.uprocess.loader import (
+    ProgramImage,
+    ProgramLoader,
+    CodeInspectionError,
+    LoaderError,
+)
+from repro.uprocess.callgate import CallGate, CallGateViolation
+from repro.uprocess.threads import UThread, UThreadState, ThreadContext
+from repro.uprocess.usignals import Command, CommandKind, CommandQueue
+from repro.uprocess.switch import UserspaceSwitch
+from repro.uprocess.manager import Manager
+from repro.uprocess.domain import SchedulingDomain
+
+__all__ = [
+    "Smas",
+    "SmasSlot",
+    "MessagePipe",
+    "SmasError",
+    "UProcess",
+    "UProcessState",
+    "RegionAllocator",
+    "OutOfMemoryError",
+    "ProgramImage",
+    "ProgramLoader",
+    "CodeInspectionError",
+    "LoaderError",
+    "CallGate",
+    "CallGateViolation",
+    "UThread",
+    "UThreadState",
+    "ThreadContext",
+    "Command",
+    "CommandKind",
+    "CommandQueue",
+    "UserspaceSwitch",
+    "Manager",
+    "SchedulingDomain",
+]

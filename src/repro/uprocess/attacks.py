@@ -1,0 +1,171 @@
+"""Executable models of the §4.2 attack classes.
+
+Each attack returns an :class:`AttackOutcome` describing whether the
+attacker gained anything.  The security tests assert every attack is
+defeated with the defenses on, and — for the defenses with ablation
+toggles — that the attack *succeeds* when the corresponding defense is
+switched off (i.e. the defense is load-bearing, not decorative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.machine import Core
+from repro.hardware.mpk import AccessKind, MpkFault
+from repro.uprocess.callgate import CallGate
+from repro.uprocess.loader import (
+    CodeInspectionError,
+    ProgramImage,
+    ProgramLoader,
+)
+from repro.uprocess.smas import Smas
+from repro.uprocess.threads import UThread
+from repro.uprocess.uproc import UProcess
+
+
+@dataclass
+class AttackOutcome:
+    name: str
+    succeeded: bool
+    detail: str = ""
+
+
+def attack_embedded_wrpkru(loader: ProgramLoader, uproc: UProcess) -> AttackOutcome:
+    """Ship a binary with a raw WRPKRU to self-elevate at runtime."""
+    evil = ProgramImage(
+        name="evil-wrpkru",
+        instructions=["MOV", "WRPKRU", "RET"],
+    )
+    try:
+        loader.load(uproc, evil)
+    except CodeInspectionError as exc:
+        return AttackOutcome("embedded-wrpkru", False, str(exc))
+    return AttackOutcome("embedded-wrpkru", True,
+                         "loader accepted a WRPKRU-carrying binary")
+
+
+def attack_dlopen_wrpkru(loader: ProgramLoader, uproc: UProcess) -> AttackOutcome:
+    """Sneak the WRPKRU in later through on-demand library loading."""
+    evil_lib = ProgramImage(
+        name="evil-lib",
+        instructions=["PUSH", "XRSTOR", "POP"],
+    )
+    try:
+        loader.dlopen(uproc, evil_lib)
+    except CodeInspectionError as exc:
+        return AttackOutcome("dlopen-wrpkru", False, str(exc))
+    return AttackOutcome("dlopen-wrpkru", True,
+                         "dlopen accepted an XRSTOR-carrying library")
+
+
+def attack_control_flow_hijack(gate: CallGate, core: Core) -> AttackOutcome:
+    """Jump straight to the PKRU-restore instruction with a forged eax.
+
+    The forged value 0 would grant access to every key.
+    """
+    final = gate.hijack_stage3(core, forged_pkru=0)
+    current = gate.smas.pipe.cpuid_to_task.get(core.id)
+    legitimate = current.uproc.pkru().value if current is not None else None
+    if final == 0 and legitimate != 0:
+        return AttackOutcome("control-flow-hijack", True,
+                             "forged PKRU survived the gate exit")
+    return AttackOutcome(
+        "control-flow-hijack", False,
+        f"recheck loop restored PKRU to {final:#010x}",
+    )
+
+
+def attack_plt_overwrite(smas: Smas, attacker: UProcess) -> AttackOutcome:
+    """Repoint a privileged function at attacker code.
+
+    The function-pointer vector lives in the message pipe, which is
+    read-only under every application PKRU, so the write faults.
+    """
+    def evil_function():  # pragma: no cover - must never run
+        raise AssertionError("attacker code executed in privileged mode")
+
+    try:
+        smas.pipe.register_function(attacker.pkru(), "park", evil_function)
+    except MpkFault as exc:
+        return AttackOutcome("plt-overwrite", False, str(exc))
+    return AttackOutcome("plt-overwrite", True,
+                         "application overwrote the function vector")
+
+
+def attack_return_address(gate: CallGate, smas: Smas, core: Core,
+                          caller: UThread, sibling: UThread) -> AttackOutcome:
+    """A sibling thread rewrites the caller's return address mid-call.
+
+    With the stack switch the return address lives on the per-core runtime
+    stack (runtime pkey): the sibling's store faults.  Without it the
+    address sits on the caller's own stack, writable by every thread of
+    the same uProcess, and the attack lands.
+    """
+    target = gate.return_address_location(core, caller)
+    try:
+        smas.aspace.check_access(target, AccessKind.WRITE,
+                                 sibling.uproc.pkru())
+    except MpkFault as exc:
+        return AttackOutcome("return-address-overwrite", False, str(exc))
+    return AttackOutcome(
+        "return-address-overwrite", True,
+        f"sibling can write the return address at {target:#x}",
+    )
+
+
+def attack_direct_runtime_read(smas: Smas, core: Core,
+                               attacker: UProcess) -> AttackOutcome:
+    """Plain data theft: read the runtime region from application mode."""
+    addr = smas.runtime_region.start + 64
+    try:
+        smas.aspace.check_access(addr, AccessKind.READ, attacker.pkru())
+    except MpkFault as exc:
+        return AttackOutcome("runtime-read", False, str(exc))
+    return AttackOutcome("runtime-read", True, "runtime data readable")
+
+
+def attack_cross_uprocess_read(smas: Smas, attacker: UProcess,
+                               victim: UProcess) -> AttackOutcome:
+    """Read another uProcess's data region."""
+    addr = victim.slot.data_region.start + 128
+    try:
+        smas.aspace.check_access(addr, AccessKind.READ, attacker.pkru())
+    except MpkFault as exc:
+        return AttackOutcome("cross-uprocess-read", False, str(exc))
+    return AttackOutcome("cross-uprocess-read", True,
+                         f"{attacker.name} read {victim.name}'s data")
+
+
+def attack_jump_into_foreign_text(smas: Smas, attacker: UProcess,
+                                  victim: UProcess) -> AttackOutcome:
+    """Jump into another uProcess's text without the call gate (§4.1).
+
+    The *fetch* succeeds (text is executable-only and PKRU does not gate
+    instruction fetches — that is what makes the call gate callable), but
+    the very first load from the victim's data faults, so the paper deems
+    this necessary and safe.  The attack is counted as defeated if the
+    data access faults.
+    """
+    text_addr = victim.slot.text_region.start
+    smas.aspace.check_access(text_addr, AccessKind.EXECUTE, attacker.pkru())
+    data_addr = victim.slot.data_region.start
+    try:
+        smas.aspace.check_access(data_addr, AccessKind.READ, attacker.pkru())
+    except MpkFault as exc:
+        return AttackOutcome("foreign-text-jump", False,
+                             f"fetch allowed, data load faulted: {exc}")
+    return AttackOutcome("foreign-text-jump", True,
+                         "foreign text executed with data access")
+
+
+ALL_ATTACKS = [
+    "embedded-wrpkru",
+    "dlopen-wrpkru",
+    "control-flow-hijack",
+    "plt-overwrite",
+    "return-address-overwrite",
+    "runtime-read",
+    "cross-uprocess-read",
+    "foreign-text-jump",
+]

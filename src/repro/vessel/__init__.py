@@ -1,0 +1,31 @@
+"""VESSEL: the userspace core scheduler built on uProcess (§5).
+
+``runtime``
+    The privileged runtime living behind the call gate: park/spawn
+    primitives, the syscall proxy with per-uProcess descriptor access
+    control (§5.2.4), and the mmap-executable interception (§4.2).
+``scheduler``
+    The one-level global core scheduler (§4.5) as a performance-layer
+    system: per-core FIFO thread queues, a global best-effort queue,
+    Uintr-driven preemption of best-effort work, and UMWAIT idling.
+``regulation``
+    Fine-grained memory-bandwidth regulation by core duty-cycling
+    (Figure 13b).
+``dataplane``
+    Kernel-bypass NIC RX rings and SPDK-style storage queues (§5.2.5),
+    with park-on-IO request semantics.
+"""
+
+from repro.vessel.runtime import VesselRuntime, SyscallDenied
+from repro.vessel.scheduler import VesselSystem
+from repro.vessel.regulation import VesselBandwidthRegulator
+from repro.vessel.dataplane import NicRxQueue, StorageDevice
+
+__all__ = [
+    "VesselRuntime",
+    "SyscallDenied",
+    "VesselSystem",
+    "VesselBandwidthRegulator",
+    "NicRxQueue",
+    "StorageDevice",
+]

@@ -1,0 +1,129 @@
+"""Kernel-bypass dataplane devices (§5.2.5).
+
+VESSEL places the network and storage dataplanes inside the runtime and
+instruments their busy-spin completion paths with ``park()`` so a thread
+waiting on a device yields its core instead of burning it.  Two devices
+are modeled:
+
+``NicRxQueue``
+    A bounded userspace RX ring per application: requests arrive after a
+    small wire+NIC latency; overflow packets are dropped and counted
+    (what an overwhelmed 100 Gbps port does).  Its depth and
+    oldest-arrival are the "software queues exposed to the scheduler to
+    assist scheduling decisions".
+
+``StorageDevice``
+    An SPDK-style queue pair: submissions complete after a sampled device
+    latency, bounded by a queue depth; completions fire callbacks (the
+    runtime then re-activates the parked thread).
+
+Request-level integration: a :class:`~repro.workloads.base.Request` may
+carry ``io_wait_ns``/``post_io_service_ns``; the schedulers' serving
+loops treat that as *CPU phase → park-on-IO → CPU phase*, so the core is
+free for other threads during the device wait (§4.4's "park itself ...
+waiting for a response").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque
+
+from repro.sim.engine import Simulator
+from repro.workloads.base import Request
+
+DEFAULT_NIC_LATENCY_NS = 600      # wire + NIC + DMA into the RX ring
+DEFAULT_RING_CAPACITY = 4096
+DEFAULT_QUEUE_DEPTH = 128
+
+
+class NicRxQueue:
+    """Bounded RX ring in front of one application."""
+
+    def __init__(self, sim: Simulator, deliver: Callable[[Request], None],
+                 latency_ns: int = DEFAULT_NIC_LATENCY_NS,
+                 capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.sim = sim
+        self.deliver = deliver
+        self.latency_ns = latency_ns
+        self.capacity = capacity
+        self.in_flight = 0
+        self.received = 0
+        self.dropped = 0
+
+    def client_submit(self, request: Request) -> bool:
+        """Called by the open-loop source; False if the ring overflowed."""
+        if self.in_flight >= self.capacity:
+            self.dropped += 1
+            return False
+        self.in_flight += 1
+        self.sim.after(self.latency_ns, self._arrive, request)
+        return True
+
+    def _arrive(self, request: Request) -> None:
+        self.in_flight -= 1
+        self.received += 1
+        # Arrival time is when the server can first see the packet.
+        request.arrival_ns = self.sim.now
+        self.deliver(request)
+
+
+class StorageDevice:
+    """An SPDK-like queue pair with bounded depth."""
+
+    def __init__(self, sim: Simulator,
+                 latency_sampler: Callable[[], int],
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH,
+                 name: str = "nvme0") -> None:
+        if queue_depth <= 0:
+            raise ValueError(f"queue depth must be positive: {queue_depth}")
+        self.sim = sim
+        self.latency_sampler = latency_sampler
+        self.queue_depth = queue_depth
+        self.name = name
+        self.inflight = 0
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self._backlog: Deque = deque()
+
+    def submit(self, on_complete: Callable[[], None]) -> bool:
+        """Queue one IO; completes after the sampled device latency.
+
+        When the queue pair is full the submission waits in a software
+        backlog (SPDK's behaviour with `-EAGAIN` retry loops).
+        """
+        self.submitted += 1
+        if self.inflight >= self.queue_depth:
+            self._backlog.append(on_complete)
+            self.rejected += 1
+            return False
+        self._issue(on_complete)
+        return True
+
+    def _issue(self, on_complete: Callable[[], None]) -> None:
+        self.inflight += 1
+        self.sim.after(max(1, int(self.latency_sampler())),
+                       self._complete, on_complete)
+
+    def _complete(self, on_complete: Callable[[], None]) -> None:
+        self.inflight -= 1
+        self.completed += 1
+        if self._backlog:
+            self._issue(self._backlog.popleft())
+        on_complete()
+
+    @property
+    def backlog_depth(self) -> int:
+        return len(self._backlog)
+
+
+def make_storage_request(app, arrival_ns: int, cpu1_ns: int, io_ns: int,
+                         cpu2_ns: int, conn_id: int = 0) -> Request:
+    """A request that computes, parks on storage, then computes again."""
+    request = Request(app, arrival_ns, cpu1_ns, conn_id)
+    request.io_wait_ns = io_ns
+    request.post_io_service_ns = cpu2_ns
+    return request

@@ -1,0 +1,112 @@
+"""The VESSEL runtime: privileged operations behind the call gate.
+
+§5.2.4: when uProcesses run inside arbitrary kProcesses, letting them
+issue kernel syscalls directly is both insecure (descriptor brute-forcing
+across uProcesses sharing a kProcess) and incorrect (descriptors vanish
+when a uProcess migrates to another kProcess).  The runtime therefore
+intercepts all syscalls, executes them through the kernel itself, and
+keeps a per-uProcess descriptor map used for access control.
+
+§4.2 defense 1 also lives here: any memory-configuration syscall that
+would make pages executable is prohibited; on-demand code loading must go
+through the runtime's inspected dlopen path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.hardware.mpk import Permission
+from repro.kernel.fdtable import FileDescription
+from repro.kernel.kprocess import KProcess
+from repro.kernel.syscalls import SyscallLayer
+from repro.uprocess.domain import SchedulingDomain
+from repro.uprocess.loader import ProgramImage
+from repro.uprocess.threads import UThread
+from repro.uprocess.uproc import UProcess
+
+
+class SyscallDenied(PermissionError):
+    """The runtime's syscall proxy refused the operation."""
+
+
+class VesselRuntime:
+    """Privileged services registered into the call gate's vector."""
+
+    def __init__(self, domain: SchedulingDomain,
+                 syscalls: Optional[SyscallLayer] = None) -> None:
+        self.domain = domain
+        self.syscalls = syscalls or domain.syscalls
+        #: the kProcess the runtime issues kernel calls through
+        self.kprocess = KProcess("vessel-runtime")
+        self.proxied_syscalls = 0
+        self.denied_syscalls = 0
+        gate = domain.gate
+        gate.register_privileged("park", self._noop_park)
+        gate.register_privileged("open", self.sys_open)
+        gate.register_privileged("close", self.sys_close)
+        gate.register_privileged("read", self.sys_read)
+        gate.register_privileged("mmap", self.sys_mmap)
+        gate.register_privileged("dlopen", self.sys_dlopen)
+        gate.register_privileged("pthread_create", self.pthread_create)
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def _noop_park(self, *args: Any) -> str:
+        """Placeholder park; the scheduler system overrides this entry."""
+        return "parked"
+
+    def pthread_create(self, uproc: UProcess, name: str = "") -> UThread:
+        """Create a userspace thread (§5.2.2): stack + TLS + context."""
+        if not uproc.alive:
+            raise SyscallDenied(f"{uproc.name} is terminated")
+        return UThread(uproc, name)
+
+    # ------------------------------------------------------------------
+    # File syscalls with per-uProcess access control (§5.2.4)
+    # ------------------------------------------------------------------
+    def sys_open(self, uproc: UProcess, path: str) -> int:
+        self.proxied_syscalls += 1
+        kfd = self.syscalls.open(self.kprocess, path, owner_label=uproc.name)
+        description = self.kprocess.fdtable.lookup(kfd)
+        return uproc.install_fd(description)
+
+    def sys_close(self, uproc: UProcess, ufd: int) -> None:
+        self.proxied_syscalls += 1
+        try:
+            uproc.remove_fd(ufd)
+        except KeyError as exc:
+            self.denied_syscalls += 1
+            raise SyscallDenied(str(exc)) from exc
+
+    def sys_read(self, uproc: UProcess, ufd: int) -> FileDescription:
+        """Dereference a descriptor; only the owner's map is consulted, so
+        brute-forcing another uProcess's descriptors yields EBADF."""
+        self.proxied_syscalls += 1
+        description = uproc.lookup_fd(ufd)
+        if description is None:
+            self.denied_syscalls += 1
+            raise SyscallDenied(f"EBADF: ufd {ufd} not owned by {uproc.name}")
+        return description
+
+    # ------------------------------------------------------------------
+    # Memory syscalls (§4.2 defense 1)
+    # ------------------------------------------------------------------
+    def sys_mmap(self, uproc: UProcess, size: int,
+                 perms: Permission = Permission.rw()) -> int:
+        """Anonymous mappings come from the uProcess heap; executable
+        mappings are categorically denied."""
+        self.proxied_syscalls += 1
+        if perms & Permission.EXECUTE:
+            self.denied_syscalls += 1
+            raise SyscallDenied(
+                "mmap(PROT_EXEC) is prohibited; use dlopen through the "
+                "runtime (§4.2)"
+            )
+        return uproc.heap.alloc(size)
+
+    def sys_dlopen(self, uproc: UProcess, library: ProgramImage):
+        """The only way to introduce new executable code: inspected first."""
+        self.proxied_syscalls += 1
+        return self.domain.loader.dlopen(uproc, library)

@@ -1,0 +1,589 @@
+"""The VESSEL core scheduler as a colocation system (§4.5, Figure 7b).
+
+One-level, global policy: cores are not owned by applications.  Each
+worker core has a FIFO queue of runnable threads (possibly from different
+uProcesses) plus there is one global best-effort queue.  The scheduler —
+a dedicated busy-polling core, like Caladan's IOKernel but far lighter —
+reacts to arrivals and periodically rebalances:
+
+* a latency app with pending requests gets more server threads, placed on
+  idle cores first (UMWAIT wake + userspace install), then on cores
+  running best-effort work (Uintr preemption: command queue push +
+  ``senduipi``; the victim's handler passes the call gate and switches in
+  ~0.36 µs), then queued on the shortest per-core FIFO;
+* a core whose thread parks switches to the next FIFO thread (0.16 µs
+  park switch), else pops the global BE queue, else UMWAITs;
+* at request boundaries a core rotates to its FIFO head once the current
+  thread has run a quantum — this is what keeps dense colocation fair
+  (Figure 10) at 0.16 µs per rotation instead of 5.3 µs.
+
+Every switch goes through the functional layer (`UserspaceSwitch`), so
+PKRU values and CPUID_TO_TASK_MAP stay correct during performance runs —
+the simulation would fault (MpkFault) if the mechanism were wired wrong.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.hardware.machine import Core, Machine
+from repro.sched.base import ColocationSystem
+from repro.uprocess.loader import ProgramImage
+from repro.uprocess.manager import Manager
+from repro.uprocess.threads import UThread, UThreadState
+from repro.uprocess.usignals import Command, CommandKind
+from repro.vessel.runtime import VesselRuntime
+from repro.workloads.base import App, Request
+
+#: rotate to the FIFO head after the current thread has run this long
+#: with other threads waiting.  One uniform quantum for rotation and
+#: mid-request preemption: a slice ends early when the app's queue
+#: drains (the common case for short-request apps), so the quantum only
+#: binds for backlogged or long-request applications.
+ROTATION_QUANTUM_NS = 20_000
+#: preempt an L request mid-service once it has blocked queued threads
+#: for this long (§4.4: "preemption happens when a high-priority task is
+#: blocked by a low-priority one")
+L_PREEMPT_QUANTUM_NS = 20_000
+#: cap on new server activations per app per reaction
+ACTIVATION_BURST = 4
+
+
+class _CoreState:
+    """Scheduler-side view of one worker core."""
+
+    __slots__ = ("core", "fifo", "kind", "thread", "batch_run", "request",
+                 "run_started", "uitt_index")
+
+    def __init__(self, core: Core) -> None:
+        self.core = core
+        self.fifo: Deque[UThread] = deque()
+        self.kind: Optional[str] = None  # None | "L" | "B" | "switch"
+        self.thread: Optional[UThread] = None
+        self.batch_run = None
+        self.request: Optional[Request] = None
+        self.run_started = 0
+        self.uitt_index = -1
+
+
+class _AppState:
+    """Scheduler-side view of one application."""
+
+    __slots__ = ("app", "uproc", "threads", "parked", "queued_servers")
+
+    def __init__(self, app: App, uproc) -> None:
+        self.app = app
+        self.uproc = uproc
+        self.threads: List[UThread] = []
+        self.parked: Deque[UThread] = deque()
+        #: threads sitting in some core FIFO (activated, not yet running)
+        self.queued_servers = 0
+
+
+class VesselSystem(ColocationSystem):
+    """VESSEL over a scheduling domain of uProcesses."""
+
+    name = "vessel"
+
+    def __init__(self, sim: Simulator, machine: Machine, rngs: RngStreams,
+                 worker_cores: Optional[List[Core]] = None,
+                 rotation_quantum_ns: int = ROTATION_QUANTUM_NS,
+                 l_preempt_quantum_ns: int = L_PREEMPT_QUANTUM_NS) -> None:
+        super().__init__(sim, machine, rngs, worker_cores)
+        self.rotation_quantum_ns = rotation_quantum_ns
+        self.l_preempt_quantum_ns = l_preempt_quantum_ns
+        self.rng = rngs.stream("vessel")
+        self.manager = Manager(costs=self.costs, rng=self.rng)
+        self.domain = self.manager.create_domain(self.worker_cores,
+                                                 name="vessel-domain")
+        self.runtime = VesselRuntime(self.domain)
+        self.switcher = self.domain.switcher
+        self._cores: Dict[int, _CoreState] = {
+            core.id: _CoreState(core) for core in self.worker_cores
+        }
+        self._apps: Dict[str, _AppState] = {}
+        self._be_queue: Deque[UThread] = deque()
+        self._scheduler_core_id = 0  # the dedicated busy-polling core
+        self._suspended_apps: set = set()
+        self._suspended_threads: Deque[UThread] = deque()
+        self.preemptions = 0
+        self.rotations = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def add_app(self, app: App) -> None:
+        super().add_app(app)
+        uproc = self.manager.create_uprocess(
+            self.domain, ProgramImage(app.name), name=app.name)
+        state = _AppState(app, uproc)
+        self._apps[app.name] = state
+        count = len(self.worker_cores)
+        for i in range(count):
+            thread = self.runtime.pthread_create(uproc, f"{app.name}/w{i}")
+            thread.state = UThreadState.PARKED
+            thread.payload = app
+            state.threads.append(thread)
+            if app.is_latency:
+                state.parked.append(thread)
+            else:
+                self._be_queue.append(thread)
+
+    @property
+    def effective_scan_ns(self) -> int:
+        """Scan interval, stretched when the per-core pass outgrows it."""
+        per_pass = len(self.worker_cores) * self.costs.vessel_sched_per_core_ns
+        return max(self.costs.vessel_scan_interval_ns, per_pass)
+
+    @property
+    def control_plane_factor(self) -> float:
+        """Reaction-latency multiplier from scheduler-core congestion.
+
+        One scheduler core does ``vessel_sched_per_core_ns`` of work per
+        managed core per scan; as its utilization approaches 1 the time
+        until it acts on a fresh signal grows like 1/(1-rho) — this is
+        the Figure 12 scaling knee (~42 cores for VESSEL).
+        """
+        rho = (len(self.worker_cores) * self.costs.vessel_sched_per_core_ns
+               / self.costs.vessel_scan_interval_ns)
+        return 1.0 / (1.0 - min(rho, 0.97))
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("system already started")
+        self._started = True
+        uintr = self.machine.uintr
+        for state in self._cores.values():
+            core_id = state.core.id
+            uintr.register_handler(core_id,
+                                   lambda vec, cid=core_id: self._on_uintr(cid))
+            uintr.on_user_resume(core_id)
+            state.uitt_index = uintr.register_sender(
+                self._scheduler_core_id, core_id, vector=1)
+        # Prime every core with best-effort work.
+        for state in self._cores.values():
+            self._fill_core(state)
+        self.sim.after(self.effective_scan_ns, self._scan)
+
+    # ------------------------------------------------------------------
+    # Arrival path
+    # ------------------------------------------------------------------
+    def on_arrival(self, app: App, request: Request) -> None:
+        # The busy-polling scheduler notices new work within one poll
+        # iteration; the reaction itself happens out-of-band, the worker
+        # core pays only for its own switch.
+        state = self._apps.get(app.name)
+        if state is None:
+            # The application was destroyed; clients see resets (§5.1).
+            app.queue.clear()
+            return
+        react = int(max(self.costs.sched_react_ns,
+                        self.effective_scan_ns // 2)
+                    * self.control_plane_factor)
+        self.sim.after(react, self._dispatch_app, state)
+
+    def _dispatch_app(self, state: _AppState) -> None:
+        """Ensure enough server threads are active for this app's queue."""
+        app = state.app
+        if not app.queue:
+            return
+        active = sum(1 for t in state.threads
+                     if t.state is UThreadState.RUNNING)
+        deficit = min(len(app.queue) - active - state.queued_servers,
+                      len(state.parked), ACTIVATION_BURST)
+        for _ in range(max(0, deficit)):
+            if not self._activate_one(state):
+                break
+
+    def _activate_one(self, state: _AppState) -> bool:
+        """Place one parked server thread; returns False if nowhere to go."""
+        if not state.parked:
+            return False
+        # 1) an UMWAITing core
+        idle = self._find_idle_core()
+        if idle is not None:
+            thread = state.parked.popleft()
+            self._wake_core_with(idle, thread)
+            return True
+        # 2) preempt a best-effort core via Uintr
+        victim = self._find_be_core()
+        if victim is not None:
+            thread = state.parked.popleft()
+            self._preempt_for(victim, thread)
+            return True
+        # 3) queue on the shortest FIFO (one server per app per core)
+        target = self._shortest_fifo_core(state)
+        if target is None:
+            return False
+        thread = state.parked.popleft()
+        target.fifo.append(thread)
+        state.queued_servers += 1
+        return True
+
+    def _return_be(self, thread: UThread) -> None:
+        """Park a best-effort thread back into the global queue."""
+        thread.state = UThreadState.PARKED
+        thread.core_id = None
+        self._be_queue.append(thread)
+
+    def _find_idle_core(self) -> Optional[_CoreState]:
+        for state in self._cores.values():
+            if state.kind is None and not state.core.busy:
+                return state
+        return None
+
+    def _find_be_core(self) -> Optional[_CoreState]:
+        for state in self._cores.values():
+            if state.kind == "B":
+                return state
+        return None
+
+    def _shortest_fifo_core(self, app_state: _AppState) -> Optional[_CoreState]:
+        best = None
+        best_depth = None
+        for state in self._cores.values():
+            if state.kind != "L":
+                continue
+            if any(t.uproc is app_state.uproc for t in state.fifo):
+                continue
+            if state.thread is not None \
+                    and state.thread.uproc is app_state.uproc:
+                continue
+            depth = len(state.fifo)
+            if best_depth is None or depth < best_depth:
+                best, best_depth = state, depth
+        return best
+
+    # ------------------------------------------------------------------
+    # Periodic scan (rebalance + BE filling)
+    # ------------------------------------------------------------------
+    def _scan(self) -> None:
+        for app_state in self._apps.values():
+            if app_state.app.is_latency and app_state.app.queue:
+                self._dispatch_app(app_state)
+        for state in self._cores.values():
+            if state.kind is None and not state.core.busy:
+                self._fill_core(state)
+            elif state.kind == "L":
+                self._maybe_preempt_long_request(state)
+        self.sim.after(self.effective_scan_ns, self._scan)
+
+    def _maybe_preempt_long_request(self, state: _CoreState) -> None:
+        """§4.4 preemption: a long request is hogging a core other
+        latency threads are queued on.  The request is suspended (its
+        remaining service returns to the front of its app's queue) and
+        the core rotates via a Uintr-priced switch."""
+        if state.request is None or not state.fifo:
+            return
+        ran = self.sim.now - (state.request.start_ns or self.sim.now)
+        if ran < self.l_preempt_quantum_ns:
+            return
+        request = state.request
+        remaining = state.core.preempt()
+        request.service_ns = max(1, remaining)
+        request.app.queue.appendleft(request)
+        state.request = None
+        self.preemptions += 1
+        thread = state.thread
+        app_state = self._apps[thread.payload.name]
+        thread.state = UThreadState.PARKED
+        state.fifo.append(thread)
+        app_state.queued_servers += 1
+        state.thread = None
+        state.kind = None
+        self.switcher.park_current(state.core)
+        next_thread = state.fifo.popleft()
+        self._apps[next_thread.payload.name].queued_servers -= 1
+        self._start_thread(state, next_thread, preempt=True)
+
+    def _fill_core(self, state: _CoreState) -> None:
+        """Idle core: FIFO first, then the global BE queue, else UMWAIT."""
+        if state.fifo:
+            thread = state.fifo.popleft()
+            self._apps[thread.payload.name].queued_servers -= 1
+            self._start_thread(state, thread, preempt=False)
+            return
+        while self._be_queue:
+            thread = self._be_queue.popleft()
+            if thread.payload.name in self._suspended_apps:
+                self._suspended_threads.append(thread)
+                continue
+            self._start_thread(state, thread, preempt=False)
+            return
+        state.kind = None
+        state.thread = None
+        state.core.set_idle()
+
+    # ------------------------------------------------------------------
+    # Switching machinery
+    # ------------------------------------------------------------------
+    def _wake_core_with(self, state: _CoreState, thread: UThread) -> None:
+        """UMWAIT wake + install (the core was idle)."""
+        state.kind = "switch"
+        state.thread = thread
+        cost = self.costs.umwait_wake_ns + self.switcher.switch(
+            state.core, thread, preempt=False)
+        state.core.run("runtime", cost, lambda: self._begin_run(state))
+
+    def _preempt_for(self, state: _CoreState, thread: UThread) -> None:
+        """Preempt the BE thread on ``state.core`` in favour of ``thread``.
+
+        Functional path: push a command, ``senduipi``; the handler fires
+        after the hardware delivery latency and performs the switch.
+        """
+        self.preemptions += 1
+        self.domain.queues.of(state.core.id).push(
+            Command(CommandKind.RUN_THREAD, thread))
+        # Reserve the core so concurrent dispatches pick other victims.
+        state.kind = "switch"
+        self.machine.uintr.senduipi(self._scheduler_core_id, state.uitt_index)
+
+    def _on_uintr(self, core_id: int) -> None:
+        """Uintr handler: runs on the victim core, in privileged mode."""
+        state = self._cores[core_id]
+        commands = self.domain.process_commands(core_id)
+        for command in commands:
+            if command.kind is not CommandKind.RUN_THREAD:
+                continue
+            thread = command.payload
+            if thread.state is UThreadState.DEAD or not thread.uproc.alive:
+                continue
+            if state.batch_run is not None:
+                state.batch_run.preempt()
+                be_thread, state.batch_run = state.thread, None
+                if be_thread is not None:
+                    self._return_be(be_thread)
+            elif state.core.busy:
+                # The core moved on (e.g. started an L thread) between
+                # send and delivery; queue the thread instead.
+                state.fifo.append(thread)
+                self._apps[thread.payload.name].queued_servers += 1
+                continue
+            self._start_thread(state, thread, preempt=True)
+
+    def _start_thread(self, state: _CoreState, thread: UThread,
+                      preempt: bool) -> None:
+        state.kind = "switch"
+        state.thread = thread
+        cost = self.switcher.switch(state.core, thread, preempt=preempt)
+        if preempt:
+            # senduipi + delivery already elapsed as event time.
+            cost = max(1, cost - self.costs.uintr_send_ns
+                       - self.costs.uintr_deliver_ns)
+        state.core.run("runtime", cost, lambda: self._begin_run(state))
+
+    def _begin_run(self, state: _CoreState) -> None:
+        thread = state.thread
+        assert thread is not None
+        app: App = thread.payload
+        state.run_started = self.sim.now
+        if app.is_latency:
+            state.kind = "L"
+            self._serve_next(state)
+        else:
+            state.kind = "B"
+            self._run_batch_chunk(state)
+
+    # ------------------------------------------------------------------
+    # Latency-app serving loop
+    # ------------------------------------------------------------------
+    def _serve_next(self, state: _CoreState) -> None:
+        thread = state.thread
+        app: App = thread.payload
+        # Time-sliced rotation: at a request boundary, yield to the FIFO
+        # head once this thread has held the core for its quantum.  The
+        # slice ends early anyway whenever the app's queue drains, so the
+        # quantum only binds for backlogged applications.
+        if state.fifo and \
+                self.sim.now - state.run_started >= self.rotation_quantum_ns:
+            self.rotations += 1
+            self._park_thread(state, requeue=bool(app.queue))
+            return
+        request = app.pop_request()
+        if request is None:
+            self._park_thread(state, requeue=False)
+            return
+        state.request = request
+        request.start_ns = self.sim.now
+        state.core.run(f"app:{app.name}", self.effective_service_ns(request),
+                       lambda: self._request_done(state, request))
+
+    def _request_done(self, state: _CoreState, request: Request) -> None:
+        state.request = None
+        if request.io_wait_ns > 0 and not request.io_done:
+            # Park on the device (§4.4): the IO proceeds asynchronously
+            # through the runtime's dataplane while this core serves
+            # other threads; the completion re-queues the CPU tail.
+            request.io_done = True
+            self.sim.after(request.io_wait_ns, self._io_complete, request)
+            self._serve_next(state)
+            return
+        request.app.complete(request, self.sim.now)
+        self._serve_next(state)
+
+    def _io_complete(self, request: Request) -> None:
+        state = self._apps.get(request.app.name)
+        if state is None:
+            return  # app destroyed while the IO was in flight
+        request.service_ns = max(1, request.post_io_service_ns)
+        request.app.queue.appendleft(request)
+        self._dispatch_app(state)
+
+    def _park_thread(self, state: _CoreState, requeue: bool) -> None:
+        """The current thread parks (queue empty) or rotates (requeue)."""
+        thread = state.thread
+        app_state = self._apps[thread.payload.name]
+        thread.state = UThreadState.PARKED
+        if requeue:
+            state.fifo.append(thread)
+            app_state.queued_servers += 1
+        else:
+            app_state.parked.append(thread)
+        state.thread = None
+        state.kind = None
+        # The park's call-gate traversal is part of the switch cost the
+        # next _start_thread charges (that composite is what Table 1's
+        # ping-pong experiment measures).
+        self.switcher.park_current(state.core)
+        self._fill_core(state)
+
+    # ------------------------------------------------------------------
+    # Batch chunks
+    # ------------------------------------------------------------------
+    def _run_batch_chunk(self, state: _CoreState) -> None:
+        thread = state.thread
+        app: App = thread.payload
+        work = app.batch_work
+        state.batch_run = work.start(
+            state.core, on_done=lambda: self._batch_chunk_done(state))
+
+    def _batch_chunk_done(self, state: _CoreState) -> None:
+        state.batch_run = None
+        if state.kind == "switch":
+            # A preemption Uintr is in flight; hand the BE thread back and
+            # let the handler install the latency thread on arrival.
+            if state.thread is not None:
+                self._return_be(state.thread)
+                state.thread = None
+            return
+        if state.kind != "B" or state.thread is None:
+            return
+        # Yield to queued latency threads at chunk boundaries for free.
+        if state.fifo:
+            be_thread = state.thread
+            self._return_be(be_thread)
+            state.kind = None
+            state.thread = None
+            self._fill_core(state)
+            return
+        self._run_batch_chunk(state)
+
+    # ------------------------------------------------------------------
+    # uProcess termination (manager kill path, fault shielding §4.3)
+    # ------------------------------------------------------------------
+    def inject_fault(self, core_id: int):
+        """A fault signal arrived on ``core_id`` (e.g. SIGSEGV).
+
+        The runtime identifies the faulty uProcess via CPUID_TO_TASK_MAP
+        and broadcasts kill commands (§4.3); the scheduler then detaches
+        the application.  Returns the terminated app, or None if the core
+        was not running one.
+        """
+        condemned = self.domain.handle_fault(core_id)
+        if condemned is None:
+            return None
+        state = next((s for s in self._apps.values()
+                      if s.uproc is condemned), None)
+        if state is None:
+            return None
+        self._detach_app(state)
+        return state.app
+
+    def remove_app(self, app_name: str):
+        """Destroy an application (the §5.1 manager kill flow)."""
+        state = self._apps.get(app_name)
+        if state is None:
+            raise KeyError(f"no app named {app_name!r}")
+        self.manager.destroy_uprocess(self.domain, state.uproc)
+        self._detach_app(state)
+        return state.app
+
+    def _detach_app(self, state: _AppState) -> None:
+        app = state.app
+        # Preempt every core currently running (or switching to) it and
+        # consume the pending kill commands in privileged mode.
+        for cs in self._cores.values():
+            cs.fifo = deque(t for t in cs.fifo if t.payload is not app)
+            if cs.thread is not None and cs.thread.payload is app:
+                if cs.batch_run is not None:
+                    cs.batch_run.preempt()
+                    cs.batch_run = None
+                elif cs.core.busy:
+                    cs.core.preempt()
+                cs.thread = None
+                cs.request = None
+                cs.kind = None
+            self.domain.process_commands(cs.core.id)
+        if state.uproc.alive:
+            state.uproc.terminate()
+            self.domain.smas.release_slot(state.uproc.slot)
+        self._be_queue = deque(t for t in self._be_queue
+                               if t.payload is not app)
+        self._suspended_threads = deque(t for t in self._suspended_threads
+                                        if t.payload is not app)
+        # In-flight requests of a dead application are dropped (clients
+        # observe connection resets).
+        app.queue.clear()
+        self._apps.pop(app.name, None)
+        if app in self.apps:
+            self.apps.remove(app)
+        state.parked.clear()
+        state.queued_servers = 0
+        for cs in self._cores.values():
+            if cs.kind is None and not cs.core.busy:
+                self._fill_core(cs)
+
+    # ------------------------------------------------------------------
+    # Batch-app duty cycling (used by bandwidth regulation, Figure 13b)
+    # ------------------------------------------------------------------
+    def suspend_batch_app(self, app_name: str) -> None:
+        """Stop scheduling this B-app; running chunks are preempted now.
+
+        Core reallocation in VESSEL is cheap enough (~0.16 µs) that
+        suspending and resuming at tens-of-microseconds windows is viable
+        — this is exactly what makes its bandwidth regulation accurate.
+        """
+        if app_name in self._suspended_apps:
+            return
+        self._suspended_apps.add(app_name)
+        for state in self._cores.values():
+            if state.kind == "B" and state.thread is not None \
+                    and state.thread.payload.name == app_name:
+                if state.batch_run is not None:
+                    state.batch_run.preempt()
+                    state.batch_run = None
+                state.thread.state = UThreadState.PARKED
+                state.thread.core_id = None
+                self._suspended_threads.append(state.thread)
+                state.thread = None
+                state.kind = None
+                self._fill_core(state)
+
+    def resume_batch_app(self, app_name: str) -> None:
+        """Allow the B-app to be scheduled again."""
+        if app_name not in self._suspended_apps:
+            return
+        self._suspended_apps.discard(app_name)
+        held = [t for t in self._suspended_threads
+                if t.payload.name == app_name]
+        self._suspended_threads = deque(
+            t for t in self._suspended_threads
+            if t.payload.name != app_name)
+        self._be_queue.extend(held)
+        for state in self._cores.values():
+            if state.kind is None and not state.core.busy:
+                self._fill_core(state)

@@ -1,0 +1,192 @@
+"""Application and request abstractions shared by every scheduler system.
+
+An :class:`App` is what a scheduling system colocates.  Latency apps
+receive :class:`Request` objects from an open-loop source and expose a
+latency recorder; batch apps expose a work generator and count the useful
+nanoseconds they manage to harvest.  Both are deliberately scheduler
+agnostic: the same app objects run under VESSEL, Caladan, Arachne and
+CFS so the comparison is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.stats import Counter, LatencyRecorder
+
+
+class AppKind(enum.Enum):
+    LATENCY = "latency"   #: L-app: open-loop requests, tail-latency SLO
+    BATCH = "batch"       #: B-app: harvests whatever cycles are left
+
+
+class Request:
+    """One open-loop request.
+
+    Requests may block mid-service on a device: ``io_wait_ns`` > 0 means
+    the serving thread parks after the first CPU phase and a second CPU
+    phase of ``post_io_service_ns`` runs when the IO completes (§4.4 /
+    §5.2.5).  Plain requests leave both at zero.
+    """
+
+    __slots__ = ("app", "arrival_ns", "service_ns", "conn_id", "start_ns",
+                 "io_wait_ns", "post_io_service_ns", "io_done")
+
+    def __init__(self, app: "App", arrival_ns: int, service_ns: int,
+                 conn_id: int = 0) -> None:
+        self.app = app
+        self.arrival_ns = arrival_ns
+        self.service_ns = service_ns
+        self.conn_id = conn_id
+        self.start_ns: Optional[int] = None
+        self.io_wait_ns = 0
+        self.post_io_service_ns = 0
+        self.io_done = False
+
+    def latency_ns(self, completion_ns: int) -> int:
+        return completion_ns - self.arrival_ns
+
+
+class App:
+    """An application known to a scheduling system."""
+
+    def __init__(self, name: str, kind: AppKind,
+                 mean_service_ns: float = 0.0,
+                 batch_work: Optional[object] = None) -> None:
+        self.name = name
+        self.kind = kind
+        #: used for capacity normalization of L-apps
+        self.mean_service_ns = mean_service_ns
+        #: work generator for batch apps (LinpackWork / MembenchWork / ...)
+        self.batch_work = batch_work
+        # Measurements
+        self.offered = Counter(f"{name}/offered")
+        self.completed = Counter(f"{name}/completed")
+        self.latency = LatencyRecorder(f"{name}/latency")
+        #: pending requests, oldest first (the dataplane/NIC queue)
+        self.queue: Deque[Request] = deque()
+        #: nanoseconds of useful batch work executed (B-apps)
+        self.useful_ns = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_latency(self) -> bool:
+        return self.kind is AppKind.LATENCY
+
+    def enqueue(self, request: Request) -> None:
+        self.offered.add()
+        self.queue.append(request)
+
+    def pop_request(self) -> Optional[Request]:
+        if not self.queue:
+            return None
+        return self.queue.popleft()
+
+    def oldest_wait_ns(self, now: int) -> int:
+        """Queueing delay signal: age of the oldest pending request."""
+        if not self.queue:
+            return 0
+        return now - self.queue[0].arrival_ns
+
+    def complete(self, request: Request, now: int) -> None:
+        self.completed.add()
+        self.latency.record(request.latency_ns(now))
+
+    def reset_measurements(self) -> None:
+        """Drop warmup-phase measurements (queue state is preserved)."""
+        self.offered.clear()
+        self.completed.clear()
+        self.latency.clear()
+        self.useful_ns = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<App {self.name} {self.kind.value}>"
+
+
+class OpenLoopSource:
+    """Poisson open-loop request generator for one L-app.
+
+    ``submit`` is the system's intake (it must eventually run the request
+    on some core); the source never waits for completions — exactly like
+    the paper's client machines.
+    """
+
+    def __init__(self, sim: Simulator, app: App, submit: Callable[[Request], None],
+                 rate_mops: float, service_sampler: Callable[[], int],
+                 rng, connections: int = 1,
+                 start_ns: int = 0, stop_ns: Optional[int] = None) -> None:
+        if rate_mops < 0:
+            raise ValueError(f"negative rate {rate_mops}")
+        self.sim = sim
+        self.app = app
+        self.submit = submit
+        self.rate_mops = rate_mops
+        self.service_sampler = service_sampler
+        self.rng = rng
+        self.connections = max(1, connections)
+        self.stop_ns = stop_ns
+        self.generated = 0
+        if rate_mops > 0:
+            sim.at(start_ns, self._tick)
+
+    @property
+    def mean_gap_ns(self) -> float:
+        # rate in Mops/s == ops/µs; gap in ns = 1000 / rate
+        return 1000.0 / self.rate_mops
+
+    def _tick(self) -> None:
+        if self.stop_ns is not None and self.sim.now >= self.stop_ns:
+            return
+        request = Request(
+            app=self.app,
+            arrival_ns=self.sim.now,
+            service_ns=self.service_sampler(),
+            conn_id=self.generated % self.connections,
+        )
+        self.generated += 1
+        self.submit(request)
+        gap = max(1, int(self.rng.expovariate(1.0 / self.mean_gap_ns)))
+        self.sim.after(gap, self._tick)
+
+
+class BurstySource(OpenLoopSource):
+    """Markov-modulated Poisson source: alternating calm/burst phases.
+
+    Models the µs-scale burstiness of datacenter load (§1): during a
+    burst the instantaneous rate is ``burst_factor`` times the base rate;
+    phase durations are exponential with the given means.  The long-run
+    average rate equals ``rate_mops`` (the base rate is solved for).
+    """
+
+    def __init__(self, sim: Simulator, app: App, submit, rate_mops: float,
+                 service_sampler, rng, connections: int = 1,
+                 burst_factor: float = 4.0,
+                 calm_mean_ns: int = 80_000, burst_mean_ns: int = 20_000,
+                 start_ns: int = 0, stop_ns: Optional[int] = None) -> None:
+        if burst_factor < 1.0:
+            raise ValueError(f"burst_factor must be >= 1: {burst_factor}")
+        total = calm_mean_ns + burst_mean_ns
+        # avg = base*(calm + factor*burst)/total  ==  rate_mops
+        base = rate_mops * total / (calm_mean_ns + burst_factor * burst_mean_ns)
+        self.burst_factor = burst_factor
+        self.calm_mean_ns = calm_mean_ns
+        self.burst_mean_ns = burst_mean_ns
+        self._in_burst = False
+        self._base_rate = base
+        super().__init__(sim, app, submit, base, service_sampler, rng,
+                         connections, start_ns, stop_ns)
+        if rate_mops > 0:
+            sim.at(start_ns + calm_mean_ns, self._toggle_phase)
+
+    def _toggle_phase(self) -> None:
+        self._in_burst = not self._in_burst
+        self.rate_mops = self._base_rate * (
+            self.burst_factor if self._in_burst else 1.0
+        )
+        mean = self.burst_mean_ns if self._in_burst else self.calm_mean_ns
+        duration = max(1, int(self.rng.expovariate(1.0 / mean)))
+        if self.stop_ns is None or self.sim.now < self.stop_ns:
+            self.sim.after(duration, self._toggle_phase)

@@ -1,0 +1,38 @@
+"""Memcached with Facebook's USR request mix (§6.1).
+
+USR is read-dominated (GETs of small keys) with occasional SETs; the
+paper reports ~1 µs average service time.  We model GETs as a tight
+lognormal around 0.9 µs and SETs slightly slower, giving a 1 µs mean.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import App, AppKind
+from repro.workloads.synthetic import LognormalService
+
+MEMCACHED_MEAN_SERVICE_NS = 1000
+_GET_FRACTION = 0.97
+
+
+class UsrServiceSampler:
+    """USR mix: mostly GETs, a few SETs, ~1 µs mean."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self._get = LognormalService(median_ns=930, sigma=0.22, rng=rng)
+        self._set = LognormalService(median_ns=1450, sigma=0.30, rng=rng)
+        self.mean_ns = (_GET_FRACTION * self._get.mean_ns
+                        + (1 - _GET_FRACTION) * self._set.mean_ns)
+
+    def __call__(self) -> int:
+        if self.rng.random() < _GET_FRACTION:
+            return self._get()
+        return self._set()
+
+
+def memcached_app(name: str = "memcached") -> App:
+    """A memcached L-app (pair it with a UsrServiceSampler source)."""
+    return App(name, AppKind.LATENCY,
+               mean_service_ns=MEMCACHED_MEAN_SERVICE_NS)

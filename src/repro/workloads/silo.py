@@ -1,0 +1,31 @@
+"""Silo stressed with TPC-C (§6.1).
+
+"TPC-C has high service time variability (20 µs at median and 280 µs at
+the 99.9th percentile)."  A lognormal with median 20 µs and sigma chosen
+so that P999 = 280 µs reproduces exactly those two quantiles:
+sigma = ln(280/20) / z(0.999) = ln(14) / 3.0902 ≈ 0.854.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.workloads.base import App, AppKind
+from repro.workloads.synthetic import LognormalService
+
+SILO_MEDIAN_SERVICE_NS = 20_000
+SILO_P999_SERVICE_NS = 280_000
+_Z_999 = 3.0902
+SILO_SIGMA = math.log(SILO_P999_SERVICE_NS / SILO_MEDIAN_SERVICE_NS) / _Z_999
+
+
+def silo_service_sampler(rng: random.Random) -> LognormalService:
+    return LognormalService(median_ns=SILO_MEDIAN_SERVICE_NS,
+                            sigma=SILO_SIGMA, rng=rng)
+
+
+def silo_app(name: str = "silo") -> App:
+    sampler = LognormalService(SILO_MEDIAN_SERVICE_NS, SILO_SIGMA,
+                               random.Random(0))
+    return App(name, AppKind.LATENCY, mean_service_ns=sampler.mean_ns)

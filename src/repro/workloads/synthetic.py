@@ -1,0 +1,81 @@
+"""Service-time distributions.
+
+Each sampler is a callable returning an integer nanosecond service time;
+they carry their analytic mean so capacity math does not need sampling.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class ServiceSampler:
+    """Base: callable with a known mean."""
+
+    mean_ns: float
+
+    def __call__(self) -> int:
+        raise NotImplementedError
+
+
+class ConstantService(ServiceSampler):
+    """Deterministic service time."""
+
+    def __init__(self, service_ns: int) -> None:
+        if service_ns <= 0:
+            raise ValueError(f"service time must be positive: {service_ns}")
+        self.service_ns = int(service_ns)
+        self.mean_ns = float(service_ns)
+
+    def __call__(self) -> int:
+        return self.service_ns
+
+
+class ExponentialService(ServiceSampler):
+    """Exponential service time (the classic M/M/k assumption)."""
+
+    def __init__(self, mean_ns: float, rng: random.Random) -> None:
+        if mean_ns <= 0:
+            raise ValueError(f"mean must be positive: {mean_ns}")
+        self.mean_ns = float(mean_ns)
+        self.rng = rng
+
+    def __call__(self) -> int:
+        return max(1, int(self.rng.expovariate(1.0 / self.mean_ns)))
+
+
+class LognormalService(ServiceSampler):
+    """Lognormal service time parameterized by median and sigma."""
+
+    def __init__(self, median_ns: float, sigma: float,
+                 rng: random.Random) -> None:
+        if median_ns <= 0 or sigma < 0:
+            raise ValueError("median must be positive and sigma >= 0")
+        self.mu = math.log(median_ns)
+        self.sigma = sigma
+        self.mean_ns = median_ns * math.exp(sigma * sigma / 2.0)
+        self.rng = rng
+
+    def __call__(self) -> int:
+        return max(1, int(self.rng.lognormvariate(self.mu, self.sigma)))
+
+
+class BimodalService(ServiceSampler):
+    """Two-point mixture (short fast path, occasional slow path)."""
+
+    def __init__(self, fast_ns: int, slow_ns: int, slow_fraction: float,
+                 rng: random.Random) -> None:
+        if not 0.0 <= slow_fraction <= 1.0:
+            raise ValueError(f"slow_fraction out of range: {slow_fraction}")
+        self.fast_ns = int(fast_ns)
+        self.slow_ns = int(slow_ns)
+        self.slow_fraction = slow_fraction
+        self.rng = rng
+        self.mean_ns = (fast_ns * (1 - slow_fraction)
+                        + slow_ns * slow_fraction)
+
+    def __call__(self) -> int:
+        if self.rng.random() < self.slow_fraction:
+            return self.slow_ns
+        return self.fast_ns

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.hardware.timing import CostModel
+from repro.hardware.machine import Machine
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def costs():
+    return CostModel()
+
+
+@pytest.fixture
+def rngs():
+    return RngStreams(12345)
+
+
+@pytest.fixture
+def machine(sim, costs):
+    """A small machine: 1 scheduler core + 4 workers."""
+    return Machine(sim, costs, 5)
+
+
+@pytest.fixture
+def machine1(sim, costs):
+    return Machine(sim, costs, 1)
+
+
+from repro.kernel.signals import KernelSignals
+from repro.kernel.syscalls import SyscallLayer
+from repro.uprocess.loader import ProgramImage
+from repro.uprocess.manager import Manager
+from repro.uprocess.threads import UThread
+
+
+@pytest.fixture
+def manager(sim, costs):
+    return Manager(syscalls=SyscallLayer(costs),
+                   signals=KernelSignals(sim, costs), costs=costs)
+
+
+@pytest.fixture
+def domain(manager, machine):
+    return manager.create_domain(machine.cores)
+
+
+@pytest.fixture
+def two_uprocs(manager, domain):
+    a = manager.create_uprocess(domain, ProgramImage("app-a"))
+    b = manager.create_uprocess(domain, ProgramImage("app-b"))
+    return a, b
+
+
+@pytest.fixture
+def installed(domain, two_uprocs, machine):
+    """Thread of app A installed on core 0 (plus a thread of app B)."""
+    a, b = two_uprocs
+    thread_a = UThread(a)
+    thread_b = UThread(b)
+    domain.switcher.install(machine.cores[0], thread_a)
+    return thread_a, thread_b

@@ -1,0 +1,98 @@
+"""Tests for the experiment harness infrastructure."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    format_table,
+    l_capacity_mops,
+    normalized_total,
+    parse_profile,
+    run_colocation,
+    system_factory,
+)
+from repro.sched.base import SystemReport
+
+
+def test_system_factory_known_names():
+    for name in ("ideal", "vessel", "caladan", "caladan-dr-l",
+                 "caladan-dr-h", "arachne", "linux-cfs"):
+        assert callable(system_factory(name))
+
+
+def test_system_factory_unknown_name():
+    with pytest.raises(ValueError):
+        system_factory("windows-scheduler")
+
+
+def test_l_capacity():
+    cfg = ExperimentConfig(num_workers=8)
+    assert l_capacity_mops(cfg, 1000) == pytest.approx(8.0)
+    assert l_capacity_mops(cfg, 2000) == pytest.approx(4.0)
+
+
+def test_normalized_total_ideal_case():
+    cfg = ExperimentConfig(num_workers=4)
+    report = SystemReport(system="x", elapsed_ns=1_000_000,
+                          num_worker_cores=4)
+    report.completed["mc"] = 2000   # 2 Mops of 4 Mops capacity -> 0.5
+    report.useful_ns["lp"] = 2_000_000  # half the 4 core-seconds
+    total = normalized_total(report, cfg, {"mc": 1000})
+    assert total == pytest.approx(1.0)
+
+
+def test_normalized_total_with_alone_baseline():
+    cfg = ExperimentConfig(num_workers=4)
+    report = SystemReport(system="x", elapsed_ns=1_000_000,
+                          num_worker_cores=4)
+    report.useful_ns["mb"] = 500_000
+    total = normalized_total(report, cfg, {},
+                             b_alone_useful={"mb": 1_000_000})
+    assert total == pytest.approx(0.5)
+
+
+def test_format_table_aligns():
+    text = format_table(["name", "value"], [["a", 1.5], ["long-name", 2]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert "1.500" in lines[2]
+
+
+def test_parse_profile_defaults():
+    cfg = parse_profile([])
+    assert cfg.num_workers == 8
+
+
+def test_parse_profile_paper():
+    cfg = parse_profile(["--scale", "paper"])
+    assert cfg.num_workers == 32
+
+
+def test_run_colocation_smoke():
+    cfg = ExperimentConfig(num_workers=2, sim_ms=4, warmup_ms=1)
+    report = run_colocation("ideal", cfg,
+                            l_specs=[("memcached", "memcached", 0.3)])
+    assert report.completed["memcached"] > 0
+    assert report.elapsed_ns == cfg.measure_ns
+
+
+def test_run_colocation_silo():
+    cfg = ExperimentConfig(num_workers=2, sim_ms=6, warmup_ms=1)
+    report = run_colocation("ideal", cfg, l_specs=[("silo", "silo", 0.02)])
+    assert report.completed["silo"] > 0
+
+
+def test_run_colocation_unknown_specs():
+    cfg = ExperimentConfig(num_workers=2, sim_ms=2, warmup_ms=1)
+    with pytest.raises(ValueError):
+        run_colocation("ideal", cfg, l_specs=[("mysql", "m", 1.0)])
+    with pytest.raises(ValueError):
+        run_colocation("ideal", cfg, l_specs=[], b_specs=("bitcoin",))
+
+
+def test_scaled_returns_modified_copy():
+    cfg = ExperimentConfig()
+    other = cfg.scaled(num_workers=2)
+    assert other.num_workers == 2
+    assert cfg.num_workers == 8

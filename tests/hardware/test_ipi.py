@@ -1,0 +1,34 @@
+"""Tests for the kernel IPI path."""
+
+import pytest
+
+from repro.hardware.ipi import IpiController
+
+
+def test_ipi_delivery_latency(sim, costs):
+    ipi = IpiController(sim, costs)
+    seen = []
+    ipi.register_handler(1, lambda vec: seen.append((vec, sim.now)))
+    ipi.send(1, vector=7)
+    sim.run()
+    assert seen == [(7, costs.ipi_deliver_ns)]
+
+
+def test_ipi_to_unregistered_core_rejected(sim, costs):
+    ipi = IpiController(sim, costs)
+    with pytest.raises(KeyError):
+        ipi.send(3)
+
+
+def test_ipi_counter(sim, costs):
+    ipi = IpiController(sim, costs)
+    ipi.register_handler(0, lambda vec: None)
+    for _ in range(4):
+        ipi.send(0)
+    sim.run()
+    assert ipi.sent == 4
+
+
+def test_ipi_slower_than_uintr(sim, costs):
+    # The §2.2 premise the whole design rests on.
+    assert costs.ipi_deliver_ns > 10 * costs.uintr_deliver_ns

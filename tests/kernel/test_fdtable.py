@@ -1,0 +1,55 @@
+"""Tests for descriptor tables."""
+
+import pytest
+
+from repro.kernel.fdtable import FdTable, FileDescription
+
+
+def test_lowest_free_fd_allocated():
+    table = FdTable()
+    assert table.install(FileDescription("/a")) == 0
+    assert table.install(FileDescription("/b")) == 1
+    table.close(0)
+    assert table.install(FileDescription("/c")) == 0
+
+
+def test_lookup_returns_description():
+    table = FdTable()
+    fd = table.install(FileDescription("/x"))
+    assert table.lookup(fd).path == "/x"
+    assert table.lookup(99) is None
+
+
+def test_close_removes_and_decrements():
+    table = FdTable()
+    description = FileDescription("/x")
+    fd = table.install(description)
+    table.close(fd)
+    assert description.refcount == 0
+    assert table.lookup(fd) is None
+
+
+def test_close_bad_fd_raises():
+    with pytest.raises(KeyError):
+        FdTable().close(3)
+
+
+def test_dup_shares_description():
+    table = FdTable()
+    fd = table.install(FileDescription("/x"))
+    dup = table.dup(fd)
+    assert table.lookup(dup) is table.lookup(fd)
+    assert table.lookup(fd).refcount == 2
+
+
+def test_dup_bad_fd_raises():
+    with pytest.raises(KeyError):
+        FdTable().dup(0)
+
+
+def test_len_and_open_fds():
+    table = FdTable()
+    table.install(FileDescription("/a"))
+    table.install(FileDescription("/b"))
+    assert len(table) == 2
+    assert set(table.open_fds()) == {0, 1}

@@ -1,0 +1,48 @@
+"""Tests for kernel processes and threads."""
+
+import pytest
+
+from repro.kernel.kprocess import KProcess, ThreadState
+
+
+def test_pids_unique():
+    a, b = KProcess("a"), KProcess("b")
+    assert a.pid != b.pid
+
+
+def test_nice_range_enforced():
+    with pytest.raises(ValueError):
+        KProcess("x", nice=20)
+    with pytest.raises(ValueError):
+        KProcess("x", nice=-21)
+    KProcess("ok", nice=19)
+    KProcess("ok2", nice=-20)
+
+
+def test_spawn_thread_inherits_nice():
+    proc = KProcess("p", nice=5)
+    thread = proc.spawn_thread()
+    assert thread.nice == 5
+    assert thread in proc.threads
+    assert thread.state is ThreadState.RUNNABLE
+
+
+def test_kill_marks_threads_dead():
+    proc = KProcess("p")
+    threads = [proc.spawn_thread() for _ in range(3)]
+    proc.kill()
+    assert not proc.alive
+    assert all(t.state is ThreadState.DEAD for t in threads)
+
+
+def test_spawn_on_dead_process_rejected():
+    proc = KProcess("p")
+    proc.kill()
+    with pytest.raises(RuntimeError):
+        proc.spawn_thread()
+
+
+def test_tids_unique_across_processes():
+    a = KProcess("a").spawn_thread()
+    b = KProcess("b").spawn_thread()
+    assert a.tid != b.tid

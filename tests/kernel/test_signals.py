@@ -1,0 +1,80 @@
+"""Tests for POSIX-signal delivery."""
+
+import pytest
+
+from repro.kernel.kprocess import KProcess
+from repro.kernel.signals import (
+    KernelSignals,
+    Signal,
+    SIGKILL,
+    SIGSEGV,
+    SIGUSR1,
+)
+
+
+@pytest.fixture
+def signals(sim, costs):
+    return KernelSignals(sim, costs)
+
+
+def test_handler_receives_signal_after_delay(sim, costs, signals):
+    proc = KProcess("p")
+    seen = []
+    signals.register(proc, SIGUSR1,
+                     lambda p, s: seen.append((p.name, s.signo, sim.now)))
+    signals.post(proc, Signal(SIGUSR1))
+    sim.run()
+    assert seen == [("p", SIGUSR1, costs.signal_deliver_ns)]
+
+
+def test_unhandled_fatal_signal_kills(sim, signals):
+    proc = KProcess("p")
+    signals.post(proc, Signal(SIGSEGV))
+    sim.run()
+    assert not proc.alive
+    assert signals.killed == 1
+
+
+def test_handled_segv_does_not_kill(sim, signals):
+    proc = KProcess("p")
+    signals.register(proc, SIGSEGV, lambda p, s: None)
+    signals.post(proc, Signal(SIGSEGV))
+    sim.run()
+    assert proc.alive
+
+
+def test_unhandled_nonfatal_signal_ignored(sim, signals):
+    proc = KProcess("p")
+    signals.post(proc, Signal(SIGUSR1))
+    sim.run()
+    assert proc.alive
+
+
+def test_sigkill_cannot_be_caught(signals):
+    proc = KProcess("p")
+    with pytest.raises(ValueError):
+        signals.register(proc, SIGKILL, lambda p, s: None)
+
+
+def test_sigkill_always_kills(sim, signals):
+    proc = KProcess("p")
+    signals.post(proc, Signal(SIGKILL))
+    sim.run()
+    assert not proc.alive
+
+
+def test_signal_to_dead_process_dropped(sim, signals):
+    proc = KProcess("p")
+    proc.kill()
+    signals.post(proc, Signal(SIGUSR1))
+    sim.run()
+    assert signals.delivered == 0
+
+
+def test_signal_value_passed(sim, signals):
+    proc = KProcess("p")
+    seen = []
+    signals.register(proc, SIGUSR1, lambda p, s: seen.append(s.value))
+    signals.post(proc, Signal(SIGUSR1, value=1234))
+    sim.run()
+    assert seen == [1234]

@@ -1,0 +1,78 @@
+"""Tests for the shared system base and report math."""
+
+import math
+
+import pytest
+
+from repro.sched.base import ColocationSystem, SystemReport
+from repro.sim.rng import RngStreams
+from repro.workloads.base import Request
+from repro.workloads.memcached import memcached_app
+
+
+def test_report_throughput():
+    report = SystemReport(system="x", elapsed_ns=1_000_000,
+                          num_worker_cores=2)
+    report.completed["mc"] = 500
+    assert report.throughput_mops("mc") == pytest.approx(0.5)
+    assert report.throughput_mops("missing") == 0.0
+
+
+def test_report_fractions():
+    report = SystemReport(system="x", elapsed_ns=100, num_worker_cores=2)
+    report.buckets = {"app:a": 60, "app:b": 40, "runtime": 50, "kernel": 30,
+                      "idle": 20}
+    assert report.app_fraction() == pytest.approx(0.5)
+    assert report.waste_fraction() == pytest.approx(0.4)
+    assert report.cores_equivalent("app") == pytest.approx(1.0)
+    assert report.cores_equivalent("kernel") == pytest.approx(0.3)
+
+
+def test_report_p999_missing_is_nan():
+    report = SystemReport(system="x", elapsed_ns=1, num_worker_cores=1)
+    assert math.isnan(report.p999_us("nope"))
+
+
+def test_base_system_validations(sim, machine, rngs):
+    system = ColocationSystem.__new__(ColocationSystem)
+    ColocationSystem.__init__(system, sim, machine, rngs)
+    assert len(system.worker_cores) == machine.num_cores - 1
+    with pytest.raises(ValueError):
+        ColocationSystem(sim, machine, rngs, worker_cores=[])
+
+
+def test_duplicate_app_rejected(sim, machine, rngs):
+    system = ColocationSystem(sim, machine, rngs)
+    system.add_app(memcached_app("a"))
+    with pytest.raises(ValueError):
+        system.add_app(memcached_app("a"))
+
+
+def test_effective_service_identity_when_decoupled(sim, machine, rngs):
+    system = ColocationSystem(sim, machine, rngs)
+    app = memcached_app()
+    request = Request(app, 0, 1234)
+    assert system.effective_service_ns(request) == 1234
+
+
+def test_effective_service_inflates_with_bus(sim, machine, rngs):
+    system = ColocationSystem(sim, machine, rngs)
+    system.bus_sensitivity = 2.0
+    app = memcached_app()
+    request = Request(app, 0, 1000)
+    machine.membus.start_transfer("x", 1e12, machine.membus.capacity * 2)
+    inflated = system.effective_service_ns(request)
+    assert inflated == pytest.approx(1000 * (1 + 2.0 * 0.5), abs=2)
+
+
+def test_begin_measurement_resets(sim, machine, rngs):
+    system = ColocationSystem(sim, machine, rngs)
+    app = memcached_app()
+    system.add_app(app)
+    app.complete(Request(app, 0, 10), 100)
+    system.worker_cores[0].run("app:memcached", 50)
+    sim.run()
+    system.begin_measurement()
+    assert app.completed.value == 0
+    report = system.report()
+    assert report.buckets in ({}, {"idle": 0})

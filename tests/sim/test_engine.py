@@ -1,0 +1,180 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator, SimulationError
+
+
+def test_starts_at_time_zero(sim):
+    assert sim.now == 0
+
+
+def test_after_fires_at_right_time(sim):
+    seen = []
+    sim.after(100, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [100]
+
+
+def test_at_fires_at_absolute_time(sim):
+    seen = []
+    sim.at(250, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [250]
+
+
+def test_events_fire_in_time_order(sim):
+    seen = []
+    sim.after(300, lambda: seen.append(3))
+    sim.after(100, lambda: seen.append(1))
+    sim.after(200, lambda: seen.append(2))
+    sim.run()
+    assert seen == [1, 2, 3]
+
+
+def test_same_time_events_fire_in_scheduling_order(sim):
+    seen = []
+    for i in range(10):
+        sim.at(50, lambda i=i: seen.append(i))
+    sim.run()
+    assert seen == list(range(10))
+
+
+def test_cancelled_event_does_not_fire(sim):
+    seen = []
+    event = sim.after(100, lambda: seen.append("no"))
+    event.cancel()
+    sim.run()
+    assert seen == []
+    assert not event.alive
+
+
+def test_cancel_is_idempotent(sim):
+    event = sim.after(100, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+
+
+def test_cannot_schedule_in_the_past(sim):
+    sim.after(100, lambda: None)
+    sim.run()
+    assert sim.now == 100
+    with pytest.raises(SimulationError):
+        sim.at(50, lambda: None)
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.after(-1, lambda: None)
+
+
+def test_run_until_advances_clock_to_until(sim):
+    sim.after(10, lambda: None)
+    sim.run(until=1000)
+    assert sim.now == 1000
+
+
+def test_run_until_does_not_fire_later_events(sim):
+    seen = []
+    sim.after(2000, lambda: seen.append("late"))
+    sim.run(until=1000)
+    assert seen == []
+    assert sim.pending() == 1
+
+
+def test_resume_after_run_until(sim):
+    seen = []
+    sim.after(2000, lambda: seen.append(sim.now))
+    sim.run(until=1000)
+    sim.run(until=3000)
+    assert seen == [2000]
+
+
+def test_events_scheduled_during_run_fire(sim):
+    seen = []
+
+    def first():
+        sim.after(50, lambda: seen.append(sim.now))
+
+    sim.after(100, first)
+    sim.run()
+    assert seen == [150]
+
+
+def test_call_soon_fires_at_current_time(sim):
+    seen = []
+
+    def now_handler():
+        sim.call_soon(lambda: seen.append(sim.now))
+
+    sim.after(42, now_handler)
+    sim.run()
+    assert seen == [42]
+
+
+def test_stop_halts_run(sim):
+    seen = []
+    sim.after(10, lambda: (seen.append(1), sim.stop()))
+    sim.after(20, lambda: seen.append(2))
+    sim.run()
+    assert seen == [1]
+    assert sim.pending() == 1
+
+
+def test_step_returns_false_when_empty(sim):
+    assert sim.step() is False
+
+
+def test_step_fires_one_event(sim):
+    seen = []
+    sim.after(5, lambda: seen.append("a"))
+    sim.after(6, lambda: seen.append("b"))
+    assert sim.step() is True
+    assert seen == ["a"]
+
+
+def test_peek_returns_next_live_time(sim):
+    event = sim.after(100, lambda: None)
+    sim.after(200, lambda: None)
+    assert sim.peek() == 100
+    event.cancel()
+    assert sim.peek() == 200
+
+
+def test_peek_empty_returns_none(sim):
+    assert sim.peek() is None
+
+
+def test_events_fired_counter(sim):
+    for i in range(7):
+        sim.after(i + 1, lambda: None)
+    sim.run()
+    assert sim.events_fired == 7
+
+
+def test_run_not_reentrant(sim):
+    def nested():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.after(1, nested)
+    sim.run()
+
+
+def test_event_args_passed(sim):
+    seen = []
+    sim.after(1, lambda a, b: seen.append((a, b)), 1, "x")
+    sim.run()
+    assert seen == [(1, "x")]
+
+
+def test_many_events_heap_integrity(sim):
+    import random
+    rng = random.Random(7)
+    times = [rng.randrange(1, 100000) for _ in range(2000)]
+    seen = []
+    for t in times:
+        sim.at(t, lambda t=t: seen.append(t))
+    sim.run()
+    assert seen == sorted(times)

@@ -1,0 +1,172 @@
+"""Tests for the coroutine process abstraction."""
+
+import pytest
+
+from repro.sim.engine import SimulationError
+from repro.sim.process import Interrupt, Proc, Timeout, WaitFor
+
+
+def test_process_runs_to_completion(sim):
+    steps = []
+
+    def body():
+        steps.append(sim.now)
+        yield Timeout(100)
+        steps.append(sim.now)
+        yield Timeout(50)
+        steps.append(sim.now)
+
+    proc = Proc(sim, body())
+    sim.run()
+    assert steps == [0, 100, 150]
+    assert proc.finished
+
+
+def test_process_result_is_return_value(sim):
+    def body():
+        yield Timeout(1)
+        return 42
+
+    proc = Proc(sim, body())
+    sim.run()
+    assert proc.result == 42
+
+
+def test_wait_for_other_process(sim):
+    order = []
+
+    def worker():
+        yield Timeout(100)
+        order.append("worker")
+        return "payload"
+
+    def waiter(target):
+        value = yield WaitFor(target)
+        order.append(("waiter", value, sim.now))
+
+    target = Proc(sim, worker())
+    Proc(sim, waiter(target))
+    sim.run()
+    assert order == ["worker", ("waiter", "payload", 100)]
+
+
+def test_wait_for_finished_process_resumes_immediately(sim):
+    def worker():
+        yield Timeout(10)
+        return "done"
+
+    target = Proc(sim, worker())
+    sim.run()
+
+    seen = []
+
+    def waiter():
+        value = yield WaitFor(target)
+        seen.append((value, sim.now))
+
+    Proc(sim, waiter())
+    sim.run()
+    assert seen == [("done", 10)]
+
+
+def test_interrupt_raises_inside_generator(sim):
+    caught = []
+
+    def body():
+        try:
+            yield Timeout(1000)
+        except Interrupt as exc:
+            caught.append((sim.now, exc.cause))
+
+    proc = Proc(sim, body())
+    sim.after(100, proc.interrupt, "preempted")
+    sim.run()
+    assert caught == [(100, "preempted")]
+
+
+def test_interrupt_cancels_pending_timeout(sim):
+    resumed = []
+
+    def body():
+        try:
+            yield Timeout(1000)
+            resumed.append("timeout")
+        except Interrupt:
+            pass
+
+    proc = Proc(sim, body())
+    sim.after(10, proc.interrupt)
+    sim.run()
+    assert resumed == []
+    assert sim.now == 10
+
+
+def test_unhandled_interrupt_finishes_process(sim):
+    def body():
+        yield Timeout(1000)
+
+    proc = Proc(sim, body())
+    sim.after(5, proc.interrupt)
+    sim.run()
+    assert proc.finished
+    assert proc.result is None
+
+
+def test_interrupting_finished_process_is_an_error(sim):
+    def body():
+        yield Timeout(1)
+
+    proc = Proc(sim, body())
+    sim.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_negative_timeout_rejected(sim):
+    with pytest.raises(ValueError):
+        Timeout(-5)
+
+
+def test_yielding_garbage_is_an_error(sim):
+    def body():
+        yield "nonsense"
+
+    Proc(sim, body())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_multiple_waiters_all_resume(sim):
+    seen = []
+
+    def worker():
+        yield Timeout(30)
+        return "v"
+
+    def waiter(name, target):
+        value = yield WaitFor(target)
+        seen.append((name, value))
+
+    target = Proc(sim, worker())
+    Proc(sim, waiter("a", target))
+    Proc(sim, waiter("b", target))
+    sim.run()
+    assert sorted(seen) == [("a", "v"), ("b", "v")]
+
+
+def test_interrupt_can_be_survived_and_continue(sim):
+    trace = []
+
+    def body():
+        while True:
+            try:
+                yield Timeout(100)
+                trace.append(("slept", sim.now))
+                return
+            except Interrupt:
+                trace.append(("interrupted", sim.now))
+
+    proc = Proc(sim, body())
+    sim.after(50, proc.interrupt)
+    sim.run()
+    assert trace == [("interrupted", 50), ("slept", 150)]

@@ -1,0 +1,52 @@
+"""Tests for deterministic RNG streams."""
+
+from repro.sim.rng import RngStreams
+
+
+def test_same_name_returns_same_stream():
+    rngs = RngStreams(1)
+    assert rngs.stream("a") is rngs.stream("a")
+
+
+def test_different_names_are_independent():
+    rngs = RngStreams(1)
+    a = [rngs.stream("a").random() for _ in range(5)]
+    b = [rngs.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_reproducible_across_instances():
+    first = [RngStreams(7).stream("x").random() for _ in range(3)]
+    second = [RngStreams(7).stream("x").random() for _ in range(3)]
+    assert first == second
+
+
+def test_different_seeds_differ():
+    a = RngStreams(1).stream("x").random()
+    b = RngStreams(2).stream("x").random()
+    assert a != b
+
+
+def test_adding_stream_does_not_perturb_existing():
+    rngs1 = RngStreams(3)
+    rngs1.stream("a")
+    values_with_only_a = [rngs1.stream("a").random() for _ in range(3)]
+
+    rngs2 = RngStreams(3)
+    rngs2.stream("b")  # extra stream created first
+    rngs2.stream("a")
+    values_with_b_too = [rngs2.stream("a").random() for _ in range(3)]
+    assert values_with_only_a == values_with_b_too
+
+
+def test_spawn_derives_independent_factory():
+    parent = RngStreams(9)
+    child = parent.spawn("child")
+    assert child.root_seed != parent.root_seed
+    assert child.stream("x").random() != parent.stream("x").random()
+
+
+def test_spawn_is_deterministic():
+    a = RngStreams(9).spawn("c").stream("x").random()
+    b = RngStreams(9).spawn("c").stream("x").random()
+    assert a == b

@@ -1,0 +1,98 @@
+"""The §4.2 security suite: every attack class must be defeated, and the
+ablations must show each defense is load-bearing."""
+
+import pytest
+
+from repro.uprocess import attacks as atk
+from repro.uprocess.callgate import CallGate
+from repro.uprocess.threads import UThread
+
+
+def test_embedded_wrpkru_defeated(domain, two_uprocs):
+    a, _ = two_uprocs
+    outcome = atk.attack_embedded_wrpkru(domain.loader, a)
+    assert not outcome.succeeded
+
+
+def test_dlopen_wrpkru_defeated(domain, two_uprocs):
+    a, _ = two_uprocs
+    outcome = atk.attack_dlopen_wrpkru(domain.loader, a)
+    assert not outcome.succeeded
+
+
+def test_control_flow_hijack_defeated(domain, installed, machine):
+    outcome = atk.attack_control_flow_hijack(domain.gate, machine.cores[0])
+    assert not outcome.succeeded
+
+
+def test_control_flow_hijack_succeeds_without_recheck(domain, installed,
+                                                      machine):
+    gate = CallGate(domain.smas, pkru_recheck=False)
+    outcome = atk.attack_control_flow_hijack(gate, machine.cores[0])
+    assert outcome.succeeded
+
+
+def test_plt_overwrite_defeated(domain, two_uprocs):
+    a, _ = two_uprocs
+    outcome = atk.attack_plt_overwrite(domain.smas, a)
+    assert not outcome.succeeded
+
+
+def test_return_address_overwrite_defeated(domain, installed, machine):
+    thread_a, thread_b = installed
+    sibling = UThread(thread_a.uproc)
+    outcome = atk.attack_return_address(domain.gate, domain.smas,
+                                        machine.cores[0], thread_a, sibling)
+    assert not outcome.succeeded
+
+
+def test_return_address_overwrite_succeeds_without_stack_switch(
+        domain, installed, machine):
+    thread_a, _ = installed
+    sibling = UThread(thread_a.uproc)
+    gate = CallGate(domain.smas, stack_switch=False)
+    outcome = atk.attack_return_address(gate, domain.smas, machine.cores[0],
+                                        thread_a, sibling)
+    assert outcome.succeeded  # the defense is load-bearing
+
+
+def test_runtime_read_defeated(domain, two_uprocs, machine):
+    a, _ = two_uprocs
+    outcome = atk.attack_direct_runtime_read(domain.smas, machine.cores[0], a)
+    assert not outcome.succeeded
+
+
+def test_cross_uprocess_read_defeated(domain, two_uprocs):
+    a, b = two_uprocs
+    assert not atk.attack_cross_uprocess_read(domain.smas, a, b).succeeded
+    assert not atk.attack_cross_uprocess_read(domain.smas, b, a).succeeded
+
+
+def test_foreign_text_jump_contained(domain, two_uprocs):
+    a, b = two_uprocs
+    outcome = atk.attack_jump_into_foreign_text(domain.smas, a, b)
+    assert not outcome.succeeded
+    assert "fetch allowed" in outcome.detail  # necessary-and-safe (§4.1)
+
+
+def test_all_attack_classes_covered():
+    assert len(atk.ALL_ATTACKS) == 8
+
+
+def test_full_sweep_with_defenses_on(domain, two_uprocs, installed, machine):
+    """Every §4.2 attack in one sweep — none may land."""
+    a, b = two_uprocs
+    thread_a, _ = installed
+    sibling = UThread(a)
+    outcomes = [
+        atk.attack_embedded_wrpkru(domain.loader, a),
+        atk.attack_dlopen_wrpkru(domain.loader, a),
+        atk.attack_control_flow_hijack(domain.gate, machine.cores[0]),
+        atk.attack_plt_overwrite(domain.smas, a),
+        atk.attack_return_address(domain.gate, domain.smas,
+                                  machine.cores[0], thread_a, sibling),
+        atk.attack_direct_runtime_read(domain.smas, machine.cores[0], a),
+        atk.attack_cross_uprocess_read(domain.smas, a, b),
+        atk.attack_jump_into_foreign_text(domain.smas, a, b),
+    ]
+    assert [o.succeeded for o in outcomes] == [False] * 8

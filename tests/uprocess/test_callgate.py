@@ -1,0 +1,115 @@
+"""Tests for the call gate: the legitimate flow and its invariants."""
+
+import pytest
+
+from repro.hardware.machine import CoreMode
+from repro.uprocess.callgate import CallGateViolation
+from repro.uprocess.smas import Smas
+
+
+def test_invoke_runs_registered_function(domain, installed, machine):
+    thread_a, _ = installed
+    domain.gate.register_privileged("ping", lambda: "pong")
+    result = domain.gate.invoke(machine.cores[0], thread_a, "ping")
+    assert result == "pong"
+
+
+def test_invoke_restores_caller_pkru(domain, installed, machine):
+    thread_a, _ = installed
+    core = machine.cores[0]
+    domain.gate.register_privileged("noop", lambda: None)
+    domain.gate.invoke(core, thread_a, "noop")
+    assert core.pkru.value == thread_a.uproc.pkru().value
+    assert core.mode is CoreMode.USER
+
+
+def test_privileged_mode_during_call(domain, installed, machine):
+    thread_a, _ = installed
+    core = machine.cores[0]
+    observed = {}
+
+    def spy():
+        observed["pkru"] = core.pkru.rdpkru()
+        observed["mode"] = core.mode
+
+    domain.gate.register_privileged("spy", spy)
+    domain.gate.invoke(core, thread_a, "spy")
+    assert observed["pkru"] == Smas.runtime_pkru().value
+    assert observed["mode"] is CoreMode.RUNTIME
+
+
+def test_unknown_function_rejected_and_pkru_restored(domain, installed,
+                                                     machine):
+    thread_a, _ = installed
+    core = machine.cores[0]
+    with pytest.raises(CallGateViolation):
+        domain.gate.invoke(core, thread_a, "no-such-op")
+    assert core.pkru.value == thread_a.uproc.pkru().value
+    assert core.mode is CoreMode.USER
+
+
+def test_arguments_forwarded(domain, installed, machine):
+    thread_a, _ = installed
+    domain.gate.register_privileged("add", lambda a, b: a + b)
+    assert domain.gate.invoke(machine.cores[0], thread_a, "add", 2, 3) == 5
+
+
+def test_exit_follows_task_map_after_context_switch(domain, installed,
+                                                    machine):
+    """Figure 6: the privileged function may switch the core to another
+    uProcess; the gate exit must restore the NEW task's permissions."""
+    thread_a, thread_b = installed
+    core = machine.cores[0]
+
+    def reschedule():
+        domain.switcher.switch(core, thread_b)
+
+    domain.gate.register_privileged("resched", reschedule)
+    domain.gate.invoke(core, thread_a, "resched")
+    assert core.pkru.value == thread_b.uproc.pkru().value
+
+
+def test_invocation_counter(domain, installed, machine):
+    thread_a, _ = installed
+    domain.gate.register_privileged("noop", lambda: None)
+    before = domain.gate.invocations
+    domain.gate.invoke(machine.cores[0], thread_a, "noop")
+    assert domain.gate.invocations == before + 1
+
+
+def test_return_address_on_runtime_stack_with_defense(domain, installed,
+                                                      machine):
+    thread_a, _ = installed
+    core = machine.cores[0]
+    location = domain.gate.return_address_location(core, thread_a)
+    assert domain.smas.aspace.find(location) is domain.smas.runtime_region
+
+
+def test_return_address_on_app_stack_without_defense(domain, installed,
+                                                     machine):
+    from repro.uprocess.callgate import CallGate
+    thread_a, _ = installed
+    gate = CallGate(domain.smas, stack_switch=False)
+    location = gate.return_address_location(machine.cores[0], thread_a)
+    region = domain.smas.aspace.find(location)
+    assert region is thread_a.uproc.slot.data_region
+
+
+def test_hijack_defeated_with_recheck(domain, installed, machine):
+    thread_a, _ = installed
+    core = machine.cores[0]
+    final = domain.gate.hijack_stage3(core, forged_pkru=0)
+    assert final == thread_a.uproc.pkru().value
+    assert domain.gate.hijacks_defeated == 1
+
+
+def test_hijack_succeeds_without_recheck(domain, installed, machine):
+    from repro.uprocess.callgate import CallGate
+    gate = CallGate(domain.smas, pkru_recheck=False)
+    final = gate.hijack_stage3(machine.cores[0], forged_pkru=0)
+    assert final == 0  # attacker kept full access: defense is load-bearing
+
+
+def test_hijack_with_no_mapped_task_rejected(domain, machine, two_uprocs):
+    with pytest.raises(CallGateViolation):
+        domain.gate.hijack_stage3(machine.cores[3], forged_pkru=0)

@@ -1,0 +1,126 @@
+"""Tests for the manager: creation, destruction, cloning (§5.1, §5.3)."""
+
+import pytest
+
+from repro.uprocess.loader import ProgramImage
+from repro.uprocess.smas import MAX_UPROCESSES, SmasError
+from repro.uprocess.threads import UThread
+from repro.uprocess.uproc import UProcessState
+
+
+def test_create_uprocess_full_flow(manager, domain):
+    up = manager.create_uprocess(domain, ProgramImage("svc"))
+    assert up.state is UProcessState.RUNNING
+    assert up.slot.in_use
+    assert up in domain.uprocs
+    # a booting kProcess was forked from the manager and pinned
+    assert up.boot_kprocess.parent is manager.kprocess
+    assert up.boot_kprocess.bound_core is not None
+
+
+def test_thirteen_uprocess_limit(manager, domain):
+    for i in range(MAX_UPROCESSES):
+        manager.create_uprocess(domain, ProgramImage(f"app{i}"))
+    with pytest.raises(SmasError):
+        manager.create_uprocess(domain, ProgramImage("overflow"))
+
+
+def test_failed_load_releases_slot(manager, domain):
+    from repro.uprocess.loader import CodeInspectionError
+    evil = ProgramImage("evil", instructions=["WRPKRU"])
+    with pytest.raises(CodeInspectionError):
+        manager.create_uprocess(domain, evil)
+    assert domain.smas.slots_in_use() == 0
+
+
+def test_destroy_idle_uprocess_immediate(manager, domain):
+    up = manager.create_uprocess(domain, ProgramImage("svc"))
+    queued = manager.destroy_uprocess(domain, up)
+    assert queued == 0
+    assert not up.alive
+    assert not up.slot.in_use
+
+
+def test_destroy_running_uprocess_is_lazy(manager, domain, machine):
+    up = manager.create_uprocess(domain, ProgramImage("svc"))
+    thread = UThread(up)
+    domain.switcher.install(machine.cores[0], thread)
+    queued = manager.destroy_uprocess(domain, up)
+    assert queued == 1
+    assert up.alive  # not yet: the core must enter privileged mode
+    domain.process_commands(machine.cores[0].id)
+    assert not up.alive
+
+
+def test_destroy_foreign_uprocess_rejected(manager, domain):
+    other_domain = manager.create_domain(domain.cores, name="other")
+    up = manager.create_uprocess(other_domain, ProgramImage("x"))
+    with pytest.raises(SmasError):
+        manager.destroy_uprocess(domain, up)
+
+
+def test_clone_lands_on_same_slot_in_new_domain(manager, domain):
+    manager.create_uprocess(domain, ProgramImage("first"))
+    parent = manager.create_uprocess(domain, ProgramImage("second"))
+    assert parent.slot.index == 1
+    child = manager.clone_uprocess(domain, parent, ProgramImage("second"))
+    assert child.slot.index == parent.slot.index
+    assert child.smas is not parent.smas  # new SMAS (§5.3)
+
+
+def test_clone_creates_new_domain(manager, domain):
+    up = manager.create_uprocess(domain, ProgramImage("p"))
+    before = len(manager.domains)
+    manager.clone_uprocess(domain, up, ProgramImage("p"))
+    assert len(manager.domains) == before + 1
+
+
+def test_clone_domain_slots_usable_afterwards(manager, domain):
+    manager.create_uprocess(domain, ProgramImage("a"))
+    parent = manager.create_uprocess(domain, ProgramImage("b"))
+    manager.clone_uprocess(domain, parent, ProgramImage("b"))
+    clone_domain = manager.domains[-1]
+    # the temporarily-blocked lower slots were released
+    fresh = manager.create_uprocess(clone_domain, ProgramImage("c"))
+    assert fresh.slot.index == 0
+
+
+def test_uprocesses_have_distinct_pkeys(manager, domain):
+    ups = [manager.create_uprocess(domain, ProgramImage(f"u{i}"))
+           for i in range(5)]
+    assert len({u.pkey for u in ups}) == 5
+
+
+def test_fault_handler_registered_at_creation(manager, domain):
+    up = manager.create_uprocess(domain, ProgramImage("svc"))
+    key = (up.boot_kprocess.pid, 11)  # SIGSEGV
+    assert key in manager.signals._handlers
+
+
+def test_kill_thread_off_core_reaped_immediately(manager, domain):
+    up = manager.create_uprocess(domain, ProgramImage("svc"))
+    thread = UThread(up)
+    assert manager.kill_thread(domain, thread) == 0
+    from repro.uprocess.threads import UThreadState
+    assert thread.state is UThreadState.DEAD
+    assert up.alive  # only the thread died (§5.3)
+
+
+def test_kill_thread_on_core_is_lazy(manager, domain, machine):
+    up = manager.create_uprocess(domain, ProgramImage("svc"))
+    thread = UThread(up)
+    domain.switcher.install(machine.cores[0], thread)
+    assert manager.kill_thread(domain, thread) == 1
+    from repro.uprocess.threads import UThreadState
+    assert thread.state is not UThreadState.DEAD
+    domain.process_commands(machine.cores[0].id)
+    assert thread.state is UThreadState.DEAD
+    assert up.alive
+
+
+def test_kill_thread_goes_through_sigqueue(manager, domain):
+    up = manager.create_uprocess(domain, ProgramImage("svc"))
+    thread = UThread(up)
+    before = manager.syscalls.counts.get("sigqueue", 0)
+    manager.kill_thread(domain, thread)
+    assert manager.syscalls.counts["sigqueue"] == before + 1

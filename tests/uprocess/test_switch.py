@@ -1,0 +1,98 @@
+"""Tests for the userspace context switch (Figure 6)."""
+
+import pytest
+
+from repro.uprocess.threads import UThreadState
+
+
+def test_install_sets_pkru_and_map(domain, two_uprocs, machine):
+    from repro.uprocess.threads import UThread
+    a, _ = two_uprocs
+    thread = UThread(a)
+    core = machine.cores[0]
+    domain.switcher.install(core, thread)
+    assert core.pkru.value == a.pkru().value
+    assert domain.smas.pipe.cpuid_to_task[core.id] is thread
+    assert thread.state is UThreadState.RUNNING
+    assert thread.core_id == core.id
+
+
+def test_switch_updates_everything(domain, installed, machine):
+    thread_a, thread_b = installed
+    core = machine.cores[0]
+    cost = domain.switcher.switch(core, thread_b)
+    assert cost > 0
+    assert core.pkru.value == thread_b.uproc.pkru().value
+    assert domain.smas.pipe.cpuid_to_task[core.id] is thread_b
+    assert thread_b.state is UThreadState.RUNNING
+    assert thread_a.core_id is None
+    assert thread_b.core_id == core.id
+
+
+def test_park_switch_cost_near_table1(domain, installed, machine):
+    _, thread_b = installed
+    cost = domain.switcher.switch(machine.cores[0], thread_b, preempt=False)
+    assert 150 <= cost <= 1000  # 0.161 us typical, rare jitter tail
+
+
+def test_preempt_switch_costs_more(domain, installed, machine):
+    thread_a, thread_b = installed
+    core = machine.cores[0]
+    park_costs = []
+    preempt_costs = []
+    current, other = thread_a, thread_b
+    for _ in range(200):
+        park_costs.append(domain.switcher.switch(core, other, preempt=False))
+        current, other = other, current
+    for _ in range(200):
+        preempt_costs.append(domain.switcher.switch(core, other,
+                                                    preempt=True))
+        current, other = other, current
+    avg_park = sum(park_costs) / len(park_costs)
+    avg_preempt = sum(preempt_costs) / len(preempt_costs)
+    assert avg_preempt > avg_park + 150  # Uintr path adds send+deliver+uiret
+
+
+def test_switch_counters(domain, installed, machine):
+    thread_a, thread_b = installed
+    domain.switcher.switch(machine.cores[0], thread_b, preempt=False)
+    domain.switcher.switch(machine.cores[0], thread_a, preempt=True)
+    assert domain.switcher.park_switches == 1
+    assert domain.switcher.preempt_switches == 1
+
+
+def test_switch_to_dead_thread_rejected(domain, installed, machine):
+    _, thread_b = installed
+    thread_b.state = UThreadState.DEAD
+    with pytest.raises(RuntimeError):
+        domain.switcher.switch(machine.cores[0], thread_b)
+
+
+def test_park_current_marks_parked(domain, installed, machine):
+    thread_a, _ = installed
+    domain.switcher.park_current(machine.cores[0])
+    assert thread_a.state is UThreadState.PARKED
+
+
+def test_switch_cost_faster_than_caladan(domain, installed, machine, costs):
+    """The headline: userspace switch is an order of magnitude cheaper."""
+    _, thread_b = installed
+    cost = domain.switcher.switch(machine.cores[0], thread_b)
+    caladan = costs.caladan_park_yield_ns + costs.caladan_park_switch_ns
+    assert cost * 2 < caladan
+
+
+def test_table1_distribution(domain, installed, machine):
+    """The ping-pong experiment matches Table 1 within tolerance."""
+    import numpy as np
+    thread_a, thread_b = installed
+    core = machine.cores[0]
+    samples = []
+    current, other = thread_a, thread_b
+    for _ in range(5000):
+        samples.append(domain.switcher.switch(core, other))
+        current, other = other, current
+    avg = float(np.mean(samples)) / 1000.0
+    p999 = float(np.percentile(samples, 99.9)) / 1000.0
+    assert avg == pytest.approx(0.161, abs=0.02)
+    assert 0.3 <= p999 <= 1.2  # paper: 0.706 us

@@ -1,0 +1,80 @@
+"""Tests for userspace threads: stacks, TLS, lifecycle."""
+
+import pytest
+
+from repro.uprocess.threads import (
+    DEFAULT_STACK_SIZE,
+    ThreadContext,
+    UThread,
+    UThreadState,
+)
+
+
+def test_thread_gets_stack_and_tls(two_uprocs):
+    a, _ = two_uprocs
+    thread = UThread(a)
+    assert a.static_arena.owns(thread.stack_base)
+    assert a.static_arena.owns(thread.tls)
+    assert thread in a.threads
+
+
+def test_stack_grows_down_from_top(two_uprocs):
+    a, _ = two_uprocs
+    thread = UThread(a)
+    assert thread.context.rsp == thread.stack_base + DEFAULT_STACK_SIZE
+
+
+def test_stack_inside_own_data_region(two_uprocs):
+    a, _ = two_uprocs
+    thread = UThread(a)
+    region = a.slot.data_region
+    assert region.start <= thread.stack_base < region.end
+
+
+def test_stacks_disjoint(two_uprocs):
+    a, _ = two_uprocs
+    threads = [UThread(a) for _ in range(10)]
+    spans = sorted((t.stack_base, t.stack_base + t.stack_size)
+                   for t in threads)
+    for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+        assert e1 <= s2
+
+
+def test_destroy_releases_memory(two_uprocs):
+    a, _ = two_uprocs
+    thread = UThread(a)
+    stack, tls = thread.stack_base, thread.tls
+    thread.destroy()
+    assert thread.state is UThreadState.DEAD
+    assert not a.static_arena.owns(stack)
+    assert not a.static_arena.owns(tls)
+
+
+def test_destroy_twice_is_safe(two_uprocs):
+    a, _ = two_uprocs
+    thread = UThread(a)
+    thread.destroy()
+    thread.destroy()
+
+
+def test_thread_on_terminated_uprocess_rejected(two_uprocs):
+    a, _ = two_uprocs
+    a.terminate()
+    with pytest.raises(RuntimeError):
+        UThread(a)
+
+
+def test_custom_stack_size(two_uprocs):
+    a, _ = two_uprocs
+    thread = UThread(a, stack_size=64 << 10)
+    assert thread.stack_size == 64 << 10
+
+
+def test_context_defaults():
+    context = ThreadContext()
+    assert context.rsp == 0 and context.return_addr == 0
+
+
+def test_tids_unique(two_uprocs):
+    a, b = two_uprocs
+    assert UThread(a).tid != UThread(b).tid

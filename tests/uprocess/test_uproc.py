@@ -1,0 +1,60 @@
+"""Tests for the UProcess object: descriptor map, heap, lifecycle."""
+
+import pytest
+
+from repro.kernel.fdtable import FileDescription
+from repro.uprocess.uproc import UProcessState
+
+
+def test_fd_map_install_lookup_remove(two_uprocs):
+    a, _ = two_uprocs
+    description = FileDescription("/f", owner_label="app-a")
+    ufd = a.install_fd(description)
+    assert ufd >= 3  # 0..2 reserved
+    assert a.lookup_fd(ufd) is description
+    assert a.remove_fd(ufd) is description
+    assert a.lookup_fd(ufd) is None
+
+
+def test_remove_unknown_ufd_raises(two_uprocs):
+    a, _ = two_uprocs
+    with pytest.raises(KeyError):
+        a.remove_fd(77)
+
+
+def test_ufds_not_shared_between_uprocs(two_uprocs):
+    a, b = two_uprocs
+    ufd = a.install_fd(FileDescription("/secret"))
+    assert b.lookup_fd(ufd) is None  # §5.2.4: no brute-forcing
+
+
+def test_heap_and_static_arena_disjoint(two_uprocs):
+    a, _ = two_uprocs
+    heap_addr = a.heap.alloc(4096)
+    static_addr = a.static_arena.alloc(4096)
+    region = a.slot.data_region
+    assert region.start <= static_addr < heap_addr < region.end
+
+
+def test_pkru_matches_slot(two_uprocs):
+    from repro.hardware.mpk import AccessKind
+    a, b = two_uprocs
+    assert a.pkru().allows(a.pkey, AccessKind.WRITE)
+    assert not a.pkru().allows(b.pkey, AccessKind.READ)
+
+
+def test_terminate_clears_state(two_uprocs):
+    from repro.uprocess.threads import UThread, UThreadState
+    a, _ = two_uprocs
+    thread = UThread(a)
+    a.install_fd(FileDescription("/x"))
+    a.terminate()
+    assert a.state is UProcessState.TERMINATED
+    assert not a.alive
+    assert thread.state is UThreadState.DEAD
+    assert a.fd_map == {}
+
+
+def test_uids_unique(two_uprocs):
+    a, b = two_uprocs
+    assert a.uid != b.uid

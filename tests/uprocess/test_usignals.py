@@ -1,0 +1,85 @@
+"""Tests for command queues and fault shielding (§4.3)."""
+
+from repro.uprocess.usignals import Command, CommandKind, CommandQueue
+
+
+def test_fifo_order():
+    queue = CommandQueue(0)
+    for i in range(5):
+        queue.push(Command(CommandKind.RUN_THREAD, i))
+    assert [queue.pop().payload for _ in range(5)] == list(range(5))
+
+
+def test_pop_empty_returns_none():
+    assert CommandQueue(0).pop() is None
+
+
+def test_depth_statistics():
+    queue = CommandQueue(0)
+    for i in range(3):
+        queue.push(Command(CommandKind.PREEMPT))
+    queue.pop()
+    assert queue.pushed == 3
+    assert queue.max_depth == 3
+    assert len(queue) == 2
+
+
+def test_drain_empties():
+    queue = CommandQueue(0)
+    queue.push(Command(CommandKind.PREEMPT))
+    queue.push(Command(CommandKind.KILL_UPROCESS))
+    drained = queue.drain()
+    assert len(drained) == 2
+    assert len(queue) == 0
+
+
+def test_broadcast_kill_targets_running_cores(domain, two_uprocs):
+    a, _ = two_uprocs
+    count = domain.queues.broadcast_kill(a, [0, 2])
+    assert count == 2
+    assert len(domain.queues.of(0)) == 1
+    assert len(domain.queues.of(1)) == 0
+    assert len(domain.queues.of(2)) == 1
+
+
+def test_fault_identifies_and_condemns_uproc(domain, installed, machine):
+    thread_a, _ = installed
+    condemned = domain.handle_fault(machine.cores[0].id)
+    assert condemned is thread_a.uproc
+    # commands queued, uProcess not yet terminated (lazy, §4.3)
+    assert condemned.alive
+    domain.process_commands(machine.cores[0].id)
+    assert not condemned.alive
+
+
+def test_fault_on_idle_core_is_noop(domain, two_uprocs, machine):
+    assert domain.handle_fault(machine.cores[3].id) is None
+
+
+def test_fault_frees_slot_for_reuse(domain, manager, installed, machine):
+    from repro.uprocess.loader import ProgramImage
+    thread_a, _ = installed
+    uproc = thread_a.uproc
+    slot_index = uproc.slot.index
+    domain.handle_fault(machine.cores[0].id)
+    domain.process_commands(machine.cores[0].id)
+    replacement = manager.create_uprocess(domain, ProgramImage("new"))
+    assert replacement.slot.index == slot_index
+
+
+def test_fault_kills_only_faulty_uproc(domain, installed, machine):
+    thread_a, thread_b = installed
+    # B runs on core 1.
+    domain.switcher.install(machine.cores[1], thread_b)
+    domain.handle_fault(machine.cores[0].id)  # A faults
+    domain.process_commands(machine.cores[0].id)
+    assert not thread_a.uproc.alive
+    assert thread_b.uproc.alive  # blast radius contained
+
+
+def test_non_kill_commands_returned_to_scheduler(domain, machine):
+    queue = domain.queues.of(0)
+    queue.push(Command(CommandKind.RUN_THREAD, "t"))
+    remaining = domain.process_commands(0)
+    assert len(remaining) == 1
+    assert remaining[0].payload == "t"

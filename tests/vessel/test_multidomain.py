@@ -1,0 +1,111 @@
+"""Tests for multi-domain VESSEL (§4.1's >13-app path)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.units import MS
+from repro.hardware.machine import Machine
+from repro.hardware.timing import CostModel
+from repro.uprocess.smas import MAX_UPROCESSES
+from repro.vessel.multidomain import MultiDomainVessel
+from repro.workloads.base import OpenLoopSource
+from repro.workloads.memcached import memcached_app
+from repro.workloads.synthetic import ConstantService
+
+
+def build(num_domains=2, workers=4):
+    sim = Simulator()
+    machine = Machine(sim, CostModel(), workers + 1)
+    rngs = RngStreams(17)
+    multi = MultiDomainVessel(sim, machine, rngs, num_domains,
+                              worker_cores=machine.cores[1:])
+    return sim, machine, multi, rngs
+
+
+def test_cores_partitioned_disjointly():
+    _, machine, multi, _ = build(num_domains=2, workers=5)
+    sets = [frozenset(c.id for c in s.worker_cores) for s in multi.systems]
+    assert len(sets[0] & sets[1]) == 0
+    assert sum(len(s) for s in sets) == 5
+    # uneven split: 3 + 2
+    assert sorted(len(s) for s in sets) == [2, 3]
+
+
+def test_separate_smas_per_domain():
+    _, _, multi, _ = build()
+    assert multi.systems[0].domain.smas is not multi.systems[1].domain.smas
+
+
+def test_capacity_is_13_per_domain():
+    _, _, multi, _ = build(num_domains=2)
+    assert multi.capacity_apps == 2 * MAX_UPROCESSES
+
+
+def test_more_than_13_apps_admitted():
+    sim, _, multi, rngs = build(num_domains=2, workers=4)
+    apps = [memcached_app(f"app{i}") for i in range(MAX_UPROCESSES + 3)]
+    for app in apps:
+        multi.add_app(app)
+    # Spread across both domains, neither overfull.
+    for system in multi.systems:
+        assert system.domain.smas.slots_in_use() <= MAX_UPROCESSES
+    assert sum(s.domain.smas.slots_in_use()
+               for s in multi.systems) == len(apps)
+
+
+def test_single_domain_overflows_at_14():
+    sim, machine, multi, _ = build(num_domains=1)
+    for i in range(MAX_UPROCESSES):
+        multi.add_app(memcached_app(f"app{i}"))
+    with pytest.raises(RuntimeError):
+        multi.add_app(memcached_app("overflow"))
+
+
+def test_requests_routed_to_hosting_domain():
+    sim, _, multi, rngs = build()
+    a = memcached_app("a")
+    b = memcached_app("b")
+    sys_a = multi.add_app(a, domain_index=0)
+    sys_b = multi.add_app(b, domain_index=1)
+    multi.start()
+    OpenLoopSource(sim, a, multi.submit, 0.2, ConstantService(1000),
+                   rngs.stream("a"))
+    OpenLoopSource(sim, b, multi.submit, 0.2, ConstantService(1000),
+                   rngs.stream("b"))
+    sim.run(until=5 * MS)
+    assert a.completed.value > 0
+    assert b.completed.value > 0
+    # The work landed on the right domains' cores.
+    rep_a = sys_a.report()
+    rep_b = sys_b.report()
+    assert rep_a.buckets.get("app:a", 0) > 0
+    assert rep_a.buckets.get("app:b", 0) == 0
+    assert rep_b.buckets.get("app:b", 0) > 0
+
+
+def test_aggregate_report():
+    sim, _, multi, rngs = build()
+    a = memcached_app("a")
+    multi.add_app(a, domain_index=0)
+    multi.add_app(memcached_app("b"), domain_index=1)
+    multi.start()
+    OpenLoopSource(sim, a, multi.submit, 0.3, ConstantService(1000),
+                   rngs.stream("a"))
+    multi.begin_measurement()
+    sim.run(until=5 * MS)
+    report = multi.report()
+    assert report.num_worker_cores == 4
+    assert report.completed["a"] == a.completed.value
+    assert sum(report.buckets.values()) == \
+        report.elapsed_ns * report.num_worker_cores
+
+
+def test_validation():
+    sim = Simulator()
+    machine = Machine(sim, CostModel(), 3)
+    with pytest.raises(ValueError):
+        MultiDomainVessel(sim, machine, RngStreams(0), 0)
+    with pytest.raises(ValueError):
+        MultiDomainVessel(sim, machine, RngStreams(0), 5,
+                          worker_cores=machine.cores[1:])

@@ -1,0 +1,75 @@
+"""Tests for VESSEL's bandwidth regulation (Figure 13b mechanism)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.units import MS
+from repro.hardware.machine import Machine
+from repro.hardware.timing import CostModel
+from repro.vessel.regulation import VesselBandwidthRegulator
+from repro.vessel.scheduler import VesselSystem
+from repro.workloads.membench import membench_app
+
+
+def build(target_gbps, sim_ms=10, workers=1):
+    sim = Simulator()
+    machine = Machine(sim, CostModel(), workers + 1, membus_gbps=40.0)
+    system = VesselSystem(sim, machine, RngStreams(0),
+                          worker_cores=machine.cores[1:])
+    app = membench_app(machine.membus)
+    system.add_app(app)
+    system.start()
+    regulator = VesselBandwidthRegulator(sim, system, machine.membus,
+                                         "membench", target_gbps)
+    regulator.start()
+    sim.run(until=sim_ms * MS)
+    consumed = machine.membus.consumed_bytes("membench") / (sim_ms * MS)
+    return consumed, regulator, app
+
+
+@pytest.mark.parametrize("target", [2.0, 4.0, 6.0])
+def test_achieved_tracks_target(target):
+    consumed, _, _ = build(target)
+    assert consumed == pytest.approx(target, rel=0.25)
+
+
+def test_unconstrained_when_target_above_solo():
+    consumed, regulator, app = build(100.0)
+    solo = app.batch_work.solo_gbps()
+    assert consumed == pytest.approx(solo, rel=0.15)
+    assert regulator.suspensions == 0
+
+
+def test_suspensions_counted_when_throttling():
+    _, regulator, _ = build(2.0)
+    assert regulator.suspensions > 5
+    assert regulator.windows > 5
+
+
+def test_negative_target_rejected():
+    sim = Simulator()
+    machine = Machine(sim, CostModel(), 2)
+    system = VesselSystem(sim, machine, RngStreams(0),
+                          worker_cores=machine.cores[1:])
+    with pytest.raises(ValueError):
+        VesselBandwidthRegulator(sim, system, machine.membus, "x", -1.0)
+
+
+def test_set_target_adjusts_midflight():
+    sim = Simulator()
+    machine = Machine(sim, CostModel(), 2, membus_gbps=40.0)
+    system = VesselSystem(sim, machine, RngStreams(0),
+                          worker_cores=machine.cores[1:])
+    app = membench_app(machine.membus)
+    system.add_app(app)
+    system.start()
+    regulator = VesselBandwidthRegulator(sim, system, machine.membus,
+                                         "membench", 2.0)
+    regulator.start()
+    sim.run(until=5 * MS)
+    at_low = machine.membus.consumed_bytes("membench")
+    regulator.set_target(6.0)
+    sim.run(until=10 * MS)
+    at_high = machine.membus.consumed_bytes("membench") - at_low
+    assert at_high > 2.0 * at_low  # consumption roughly tripled

@@ -1,0 +1,110 @@
+"""Tests for the VESSEL runtime: syscall proxying and access control."""
+
+import pytest
+
+from repro.hardware.mpk import Permission
+from repro.vessel.runtime import SyscallDenied, VesselRuntime
+
+
+@pytest.fixture
+def runtime(domain):
+    return VesselRuntime(domain)
+
+
+def test_privileged_vector_populated(runtime, domain):
+    for name in ("park", "open", "close", "read", "mmap", "dlopen",
+                 "pthread_create"):
+        assert name in domain.smas.pipe.func_vector
+
+
+def test_open_read_close_roundtrip(runtime, two_uprocs):
+    a, _ = two_uprocs
+    ufd = runtime.sys_open(a, "/data/users.db")
+    description = runtime.sys_read(a, ufd)
+    assert description.path == "/data/users.db"
+    assert description.owner_label == "app-a"
+    runtime.sys_close(a, ufd)
+    with pytest.raises(SyscallDenied):
+        runtime.sys_read(a, ufd)
+
+
+def test_descriptor_bruteforce_blocked(runtime, two_uprocs):
+    """The §5.2.4 security scenario: uProcess B probing A's descriptors."""
+    a, b = two_uprocs
+    ufd = runtime.sys_open(a, "/private/keys")
+    for probe in range(ufd + 4):
+        with pytest.raises(SyscallDenied):
+            runtime.sys_read(b, probe)
+    assert runtime.denied_syscalls >= ufd + 4
+
+
+def test_descriptor_survives_migration(runtime, two_uprocs):
+    """The §5.2.4 correctness scenario: A's descriptors stay valid no
+    matter which kProcess A is currently scheduled inside, because the
+    runtime owns them."""
+    a, _ = two_uprocs
+    ufd = runtime.sys_open(a, "/log")
+    # Simulate A migrating between backing kProcesses: the runtime map
+    # is keyed by the uProcess, so the descriptor still resolves.
+    a.boot_kprocess = None
+    assert runtime.sys_read(a, ufd).path == "/log"
+
+
+def test_close_foreign_ufd_denied(runtime, two_uprocs):
+    a, b = two_uprocs
+    ufd = runtime.sys_open(a, "/x")
+    with pytest.raises(SyscallDenied):
+        runtime.sys_close(b, ufd)
+    assert runtime.sys_read(a, ufd) is not None
+
+
+def test_mmap_exec_prohibited(runtime, two_uprocs):
+    a, _ = two_uprocs
+    with pytest.raises(SyscallDenied):
+        runtime.sys_mmap(a, 4096, Permission.rx())
+
+
+def test_mmap_rw_allocates_from_heap(runtime, two_uprocs):
+    a, _ = two_uprocs
+    addr = runtime.sys_mmap(a, 8192)
+    assert a.heap.owns(addr)
+
+
+def test_dlopen_goes_through_inspection(runtime, two_uprocs):
+    from repro.uprocess.loader import CodeInspectionError, ProgramImage
+    a, _ = two_uprocs
+    with pytest.raises(CodeInspectionError):
+        runtime.sys_dlopen(a, ProgramImage("evil", instructions=["WRPKRU"]))
+    segments = runtime.sys_dlopen(a, ProgramImage("fine"))
+    assert segments.text_addr > 0
+
+
+def test_pthread_create_allocates_thread(runtime, two_uprocs):
+    a, _ = two_uprocs
+    thread = runtime.pthread_create(a, "worker")
+    assert thread.uproc is a
+    assert thread in a.threads
+
+
+def test_pthread_create_on_dead_uprocess_denied(runtime, two_uprocs):
+    a, _ = two_uprocs
+    a.terminate()
+    with pytest.raises(SyscallDenied):
+        runtime.pthread_create(a)
+
+
+def test_syscalls_counted(runtime, two_uprocs):
+    a, _ = two_uprocs
+    before = runtime.proxied_syscalls
+    runtime.sys_open(a, "/x")
+    assert runtime.proxied_syscalls == before + 1
+
+
+def test_invoke_through_call_gate(runtime, domain, installed, machine):
+    """End to end: app thread invokes the proxied open() via the gate."""
+    thread_a, _ = installed
+    ufd = domain.gate.invoke(machine.cores[0], thread_a, "open",
+                             thread_a.uproc, "/gate/file")
+    assert thread_a.uproc.lookup_fd(ufd).path == "/gate/file"
+    # and the PKRU is back to the app's
+    assert machine.cores[0].pkru.value == thread_a.uproc.pkru().value

@@ -1,0 +1,75 @@
+"""Tests for service-time distributions."""
+
+import math
+import random
+
+import pytest
+
+from repro.workloads.synthetic import (
+    BimodalService,
+    ConstantService,
+    ExponentialService,
+    LognormalService,
+)
+
+
+def test_constant_exact():
+    sampler = ConstantService(750)
+    assert all(sampler() == 750 for _ in range(10))
+    assert sampler.mean_ns == 750
+
+
+def test_constant_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        ConstantService(0)
+
+
+def test_exponential_mean():
+    sampler = ExponentialService(2000, random.Random(0))
+    samples = [sampler() for _ in range(50_000)]
+    assert sum(samples) / len(samples) == pytest.approx(2000, rel=0.05)
+
+
+def test_exponential_never_below_one():
+    sampler = ExponentialService(5, random.Random(1))
+    assert min(sampler() for _ in range(10_000)) >= 1
+
+
+def test_lognormal_median_and_mean():
+    sampler = LognormalService(median_ns=20_000, sigma=0.854,
+                               rng=random.Random(2))
+    samples = sorted(sampler() for _ in range(50_000))
+    median = samples[len(samples) // 2]
+    assert median == pytest.approx(20_000, rel=0.05)
+    analytic_mean = 20_000 * math.exp(0.854 ** 2 / 2)
+    assert sum(samples) / len(samples) == pytest.approx(analytic_mean,
+                                                        rel=0.1)
+
+
+def test_lognormal_p999_matches_silo_spec():
+    from repro.workloads.silo import SILO_SIGMA, silo_service_sampler
+    sampler = silo_service_sampler(random.Random(3))
+    samples = sorted(sampler() for _ in range(200_000))
+    p999 = samples[int(len(samples) * 0.999)]
+    assert p999 == pytest.approx(280_000, rel=0.12)  # paper: 280 us
+
+
+def test_bimodal_mixture():
+    sampler = BimodalService(1000, 10_000, 0.1, random.Random(4))
+    samples = [sampler() for _ in range(20_000)]
+    assert set(samples) == {1000, 10_000}
+    slow_fraction = samples.count(10_000) / len(samples)
+    assert slow_fraction == pytest.approx(0.1, abs=0.02)
+    assert sampler.mean_ns == pytest.approx(1900)
+
+
+def test_bimodal_fraction_validated():
+    with pytest.raises(ValueError):
+        BimodalService(1, 2, 1.5, random.Random(0))
+
+
+def test_memcached_usr_mean_about_1us():
+    from repro.workloads.memcached import UsrServiceSampler
+    sampler = UsrServiceSampler(random.Random(5))
+    samples = [sampler() for _ in range(50_000)]
+    assert sum(samples) / len(samples) == pytest.approx(1000, rel=0.08)
