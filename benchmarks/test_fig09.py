@@ -1,6 +1,5 @@
 """Figure 9: L-app + B-app colocation across all systems."""
 
-import math
 
 import pytest
 

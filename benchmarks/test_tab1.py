@@ -4,6 +4,7 @@ import pytest
 
 from repro.experiments import tab1_context_switch as exp
 from repro.experiments.common import ExperimentConfig
+from repro.obs.ledger import OpLedger
 
 
 @pytest.mark.benchmark(group="table1")
@@ -25,3 +26,25 @@ def test_tab1_context_switch(benchmark, record_output):
     assert 4.5 <= caladan["p999_us"] <= 6.5
     # The headline ratio: >10x cheaper switches.
     assert caladan["avg_us"] / vessel["avg_us"] > 10
+
+
+def test_tab1_ledger_accounts_for_every_switch_nanosecond():
+    """Op-breakdown regression check: the ledger's per-op charges for the
+    VESSEL park-switch path must sum exactly to the end-to-end switch
+    costs — no unattributed nanoseconds may appear in Table 1."""
+    cfg = ExperimentConfig()
+    ledger = OpLedger()
+    iterations = 2_000
+    samples = exp.measure_vessel(cfg, iterations, ledger=ledger)
+
+    switch_ops = ("uctx_save", "callgate_enter", "runtime_queue",
+                  "uctx_restore", "callgate_exit", "switch_noise",
+                  "switch_jitter")
+    per_op = {op: ledger.total_ns(domain="uproc", op=op)
+              for op in switch_ops}
+    assert sum(per_op.values()) == sum(samples)
+    # Every constituent op was charged once per switch.
+    for op in switch_ops:
+        assert ledger.op_count(op, domain="uproc") == iterations
+    # Park switches never pay the preemption path.
+    assert ledger.op_count("uiret", domain="uproc") == 0

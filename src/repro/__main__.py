@@ -44,6 +44,14 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", choices=["smoke", "paper"],
                         default="smoke")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--op-breakdown", action="store_true",
+                        help="print a per-operation cost breakdown "
+                             "(count / total ns / percentiles) after "
+                             "each run")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write a Chrome trace_event JSON file "
+                             "(chrome://tracing, Perfetto) after each "
+                             "run")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -58,7 +66,8 @@ def main(argv=None) -> int:
                      f"choose from {', '.join(EXPERIMENTS)}")
 
     from repro.experiments.common import ExperimentConfig, PAPER_PROFILE
-    cfg = ExperimentConfig(seed=args.seed)
+    cfg = ExperimentConfig(seed=args.seed, op_breakdown=args.op_breakdown,
+                           trace_out=args.trace_out)
     if args.scale == "paper":
         cfg = cfg.scaled(**PAPER_PROFILE)
 

@@ -69,7 +69,8 @@ class CaladanSystem(ColocationSystem):
         #: on the tick itself
         self.fast_react = fast_react
         self.rng = rngs.stream("caladan")
-        self.pipeline = KernelReallocPipeline(self.costs)
+        self.pipeline = KernelReallocPipeline(self.costs,
+                                              ledger=self.ledger)
         self._cores: Dict[int, _CoreState] = {
             core.id: _CoreState(core) for core in self.worker_cores
         }

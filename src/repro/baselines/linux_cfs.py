@@ -78,7 +78,8 @@ class LinuxCfsSystem(ColocationSystem):
         if worker_cores is None:
             worker_cores = machine.cores
         super().__init__(sim, machine, rngs, worker_cores)
-        self.cfs = CfsScheduler(sim, self.worker_cores, self.costs)
+        self.cfs = CfsScheduler(sim, self.worker_cores, self.costs,
+                                ledger=self.ledger)
         self._processes: Dict[str, KProcess] = {}
         self._workers: Dict[str, List[KThread]] = {}
         self._wake_rr: Dict[str, int] = {}

@@ -18,8 +18,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer
 from repro.sim.units import MS
 from repro.hardware.machine import Machine
+from repro.obs.ledger import OpLedger
 from repro.hardware.timing import CostModel
 from repro.sched.base import ColocationSystem, SystemReport
 from repro.vessel.scheduler import VesselSystem
@@ -46,6 +48,15 @@ class ExperimentConfig:
     bursty: bool = False
     connections_per_app: int = 10
     costs: CostModel = field(default_factory=CostModel)
+    #: print the per-op ledger breakdown after each run
+    op_breakdown: bool = False
+    #: write a Chrome trace_event JSON file after each run
+    trace_out: Optional[str] = None
+
+    @property
+    def observability(self) -> bool:
+        """True when a run needs a real (non-null) operation ledger."""
+        return self.op_breakdown or self.trace_out is not None
 
     @property
     def measure_ns(self) -> int:
@@ -101,8 +112,18 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
     mechanism: core-granular ticks for Caladan, duty-cycling for VESSEL.
     """
     sim = Simulator()
+    # Observability must be wired before the system is built: layers
+    # capture the machine's ledger at construction time.
+    ledger = None
+    tracer = None
+    if cfg.observability:
+        tracer = Tracer(sim) if cfg.trace_out is not None else None
+        ledger = OpLedger(sim=sim, tracer=tracer,
+                          capture_events=cfg.trace_out is not None)
     machine = Machine(sim, cfg.costs, cfg.num_workers + 1,
-                      membus_gbps=cfg.membus_gbps)
+                      membus_gbps=cfg.membus_gbps, ledger=ledger)
+    if tracer is not None:
+        machine.attach_tracer(tracer)
     rngs = RngStreams(cfg.seed)
     workers = machine.cores[1:]
 
@@ -148,6 +169,14 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
 
     sim.at(cfg.warmup_ms * MS, system.begin_measurement)
     sim.run(until=cfg.sim_ms * MS)
+    if ledger is not None:
+        if cfg.op_breakdown:
+            print(f"\n[{system_name}] per-op breakdown "
+                  f"(measurement window)")
+            print(ledger.breakdown_table())
+        if cfg.trace_out is not None:
+            ledger.write_chrome_trace(cfg.trace_out)
+            print(f"[{system_name}] wrote Chrome trace to {cfg.trace_out}")
     return system.report()
 
 
@@ -210,8 +239,13 @@ def parse_profile(argv: Optional[List[str]] = None) -> ExperimentConfig:
     parser.add_argument("--scale", choices=["smoke", "paper"],
                         default="smoke")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--op-breakdown", action="store_true",
+                        help="print the per-op ledger breakdown")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write a Chrome trace_event JSON file")
     args = parser.parse_args(argv)
-    cfg = ExperimentConfig(seed=args.seed)
+    cfg = ExperimentConfig(seed=args.seed, op_breakdown=args.op_breakdown,
+                           trace_out=args.trace_out)
     if args.scale == "paper":
         cfg = cfg.scaled(**PAPER_PROFILE)
     return cfg

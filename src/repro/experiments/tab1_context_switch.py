@@ -17,12 +17,13 @@ cooperative yield + IOKernel rebind.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.stats import summarize_ns
 from repro.hardware.machine import Machine
+from repro.obs.ledger import OpLedger
 from repro.uprocess.loader import ProgramImage
 from repro.uprocess.manager import Manager
 from repro.uprocess.threads import UThread
@@ -36,12 +37,21 @@ PAPER_ROWS = {
 }
 
 
-def measure_vessel(cfg: ExperimentConfig, iterations: int) -> List[int]:
-    """Ping-pong two uProcess threads on one core via park switches."""
+def measure_vessel(cfg: ExperimentConfig, iterations: int,
+                   ledger: Optional[OpLedger] = None) -> List[int]:
+    """Ping-pong two uProcess threads on one core via park switches.
+
+    When ``ledger`` is supplied every switch charges its constituent
+    operations into it, so the per-op rows (uctx_save, callgate_enter,
+    runtime_queue, uctx_restore, callgate_exit, switch_noise,
+    switch_jitter) sum exactly to the end-to-end sample costs — the
+    invariant ``benchmarks/test_tab1.py`` checks.
+    """
     sim = Simulator()
-    machine = Machine(sim, cfg.costs, 1)
+    machine = Machine(sim, cfg.costs, 1, ledger=ledger)
     rngs = RngStreams(cfg.seed)
-    manager = Manager(costs=cfg.costs, rng=rngs.stream("switch"))
+    manager = Manager(costs=cfg.costs, rng=rngs.stream("switch"),
+                      ledger=machine.ledger)
     domain = manager.create_domain(machine.cores)
     app_a = manager.create_uprocess(domain, ProgramImage("app-a"))
     app_b = manager.create_uprocess(domain, ProgramImage("app-b"))
@@ -76,11 +86,16 @@ def measure_caladan(cfg: ExperimentConfig, iterations: int) -> List[int]:
 
 
 def run(cfg: ExperimentConfig, iterations: int = 20_000) -> Dict[str, Dict]:
-    return {
-        "vessel": summarize_ns(measure_vessel(cfg, iterations)),
+    ledger = OpLedger() if cfg.op_breakdown else None
+    results = {
+        "vessel": summarize_ns(measure_vessel(cfg, iterations,
+                                              ledger=ledger)),
         "caladan": summarize_ns(measure_caladan(cfg, iterations)),
         "paper": PAPER_ROWS,
     }
+    if ledger is not None:
+        results["vessel_ledger"] = ledger
+    return results
 
 
 def main(cfg: ExperimentConfig = None) -> Dict[str, Dict]:
@@ -99,6 +114,11 @@ def main(cfg: ExperimentConfig = None) -> Dict[str, Dict]:
                                        "p99_us", "p999_us")])
     print("Table 1: core reallocation latency (us)")
     print(format_table(headers, rows))
+    ledger = results.get("vessel_ledger")
+    if ledger is not None:
+        print("\nVESSEL switch-path per-op breakdown (sums to the "
+              "end-to-end cost above):")
+        print(ledger.breakdown_table(domain="uproc"))
     return results
 
 

@@ -8,10 +8,11 @@ end-to-end latency is ~15x the Uintr path (§2.2).
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.sim.engine import Simulator
 from repro.hardware.timing import CostModel
+from repro.obs.ledger import NULL_LEDGER, OpLedger
 
 IpiHandler = Callable[[int], None]
 
@@ -19,9 +20,11 @@ IpiHandler = Callable[[int], None]
 class IpiController:
     """Routes IPIs between cores with the kernel-path delivery latency."""
 
-    def __init__(self, sim: Simulator, costs: CostModel) -> None:
+    def __init__(self, sim: Simulator, costs: CostModel,
+                 ledger: Optional[OpLedger] = None) -> None:
         self.sim = sim
         self.costs = costs
+        self.ledger = ledger or NULL_LEDGER
         self._handlers: Dict[int, IpiHandler] = {}
         self.sent: int = 0
 
@@ -35,4 +38,7 @@ class IpiController:
         if handler is None:
             raise KeyError(f"core {target_core_id} has no IPI handler")
         self.sent += 1
+        if self.ledger.enabled:
+            self.ledger.charge("ipi_deliver", self.costs.ipi_deliver_ns,
+                               core=target_core_id, domain="hw")
         self.sim.after(self.costs.ipi_deliver_ns, handler, vector)

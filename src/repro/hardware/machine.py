@@ -21,6 +21,7 @@ from repro.sim.engine import Event, SimulationError, Simulator
 from repro.sim.stats import BusyAccounter
 from repro.hardware.mpk import PkruRegister
 from repro.hardware.timing import CostModel
+from repro.obs.ledger import NULL_LEDGER, OpLedger
 
 
 class CoreMode(enum.Enum):
@@ -128,7 +129,8 @@ class Machine:
     """Cores plus the shared controllers every scheduler uses."""
 
     def __init__(self, sim: Simulator, costs: CostModel, num_cores: int,
-                 membus_gbps: float = 40.0) -> None:
+                 membus_gbps: float = 40.0,
+                 ledger: Optional[OpLedger] = None) -> None:
         from repro.hardware.ipi import IpiController
         from repro.hardware.membus import MemoryBus
         from repro.hardware.uintr import UintrController
@@ -137,10 +139,12 @@ class Machine:
             raise ValueError(f"num_cores must be positive: {num_cores}")
         self.sim = sim
         self.costs = costs
+        self.ledger = ledger or NULL_LEDGER
         self.cores: List[Core] = [Core(sim, i) for i in range(num_cores)]
-        self.uintr = UintrController(sim, costs)
-        self.ipi = IpiController(sim, costs)
+        self.uintr = UintrController(sim, costs, ledger=self.ledger)
+        self.ipi = IpiController(sim, costs, ledger=self.ledger)
         self.membus = MemoryBus(sim, membus_gbps)
+        self._propagate_ledger()
 
     @property
     def num_cores(self) -> int:
@@ -150,6 +154,21 @@ class Machine:
         """Record every core's activity spans into ``tracer``."""
         for core in self.cores:
             core.tracer = tracer
+
+    def attach_ledger(self, ledger: OpLedger) -> None:
+        """Route the hardware controllers' op charging through ``ledger``.
+
+        Call before building a scheduler system on this machine so the
+        system's own layers pick the ledger up at construction time.
+        """
+        self.ledger = ledger
+        self._propagate_ledger()
+
+    def _propagate_ledger(self) -> None:
+        self.uintr.ledger = self.ledger
+        self.ipi.ledger = self.ledger
+        for core in self.cores:
+            core.pkru.attach_ledger(self.ledger, core.id)
 
     def settle_all(self) -> None:
         for core in self.cores:

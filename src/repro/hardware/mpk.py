@@ -75,7 +75,7 @@ class PageFault(Exception):
 class PkruRegister:
     """The per-core PKRU register: (AD, WD) bit pairs for 16 keys."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_ledger", "_core_id")
 
     #: all keys access-disabled except key 0 (the kernel leaves key 0 open
     #: so unmanaged memory keeps working, §4.1 footnote)
@@ -85,14 +85,31 @@ class PkruRegister:
         if not 0 <= value < (1 << 32):
             raise ValueError(f"PKRU value out of range: {value:#x}")
         self.value = value
+        self._ledger = None
+        self._core_id = None
+
+    def attach_ledger(self, ledger, core_id: int) -> None:
+        """Count wrpkru/rdpkru executions on this (core) register.
+
+        The instructions' nanoseconds are charged by the paths that
+        execute them (the call-gate constants subsume the WRPKRU cost),
+        so the register itself only records operation counts.
+        """
+        self._ledger = ledger if ledger is not None and ledger.enabled \
+            else None
+        self._core_id = core_id
 
     # -- raw instruction analogues ------------------------------------
     def wrpkru(self, value: int) -> None:
         if not 0 <= value < (1 << 32):
             raise ValueError(f"PKRU value out of range: {value:#x}")
         self.value = value
+        if self._ledger is not None:
+            self._ledger.count_op("wrpkru", core=self._core_id, domain="hw")
 
     def rdpkru(self) -> int:
+        if self._ledger is not None:
+            self._ledger.count_op("rdpkru", core=self._core_id, domain="hw")
         return self.value
 
     # -- structured helpers --------------------------------------------

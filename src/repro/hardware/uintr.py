@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.sim.engine import Simulator
 from repro.hardware.timing import CostModel
+from repro.obs.ledger import NULL_LEDGER, OpLedger
 
 VECTOR_COUNT = 64
 
@@ -68,9 +69,11 @@ class UintrController:
     :meth:`register_sender` and fire with :meth:`senduipi`.
     """
 
-    def __init__(self, sim: Simulator, costs: CostModel) -> None:
+    def __init__(self, sim: Simulator, costs: CostModel,
+                 ledger: Optional[OpLedger] = None) -> None:
         self.sim = sim
         self.costs = costs
+        self.ledger = ledger or NULL_LEDGER
         self._upids: Dict[int, Upid] = {}
         self._uitts: Dict[int, List[UittEntry]] = {}
         self.sent: int = 0
@@ -132,6 +135,9 @@ class UintrController:
         entry = table[index]
         entry.upid.post(entry.vector)
         self.sent += 1
+        if self.ledger.enabled:
+            self.ledger.charge("uintr_send", self.costs.uintr_send_ns,
+                               core=sender_id, domain="hw")
         if entry.upid.suppressed:
             self.deferred += 1
             return
@@ -156,4 +162,8 @@ class UintrController:
             )
         for vector in vectors:
             self.delivered += 1
+            if self.ledger.enabled:
+                self.ledger.charge("uintr_deliver",
+                                   self.costs.uintr_deliver_ns,
+                                   core=upid.receiver_id, domain="hw")
             handler(vector)

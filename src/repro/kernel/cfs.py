@@ -31,6 +31,7 @@ from repro.sim.engine import Simulator
 from repro.hardware.machine import Core
 from repro.hardware.timing import CostModel
 from repro.kernel.kprocess import KThread, ThreadState
+from repro.obs.ledger import NULL_LEDGER, OpLedger
 
 #: the kernel's sched_prio_to_weight table (kernel/sched/core.c)
 _WEIGHTS = [
@@ -128,11 +129,13 @@ class CfsScheduler:
 
     def __init__(self, sim: Simulator, cores: List[Core],
                  costs: Optional[CostModel] = None,
-                 params: Optional[CfsParams] = None) -> None:
+                 params: Optional[CfsParams] = None,
+                 ledger: Optional[OpLedger] = None) -> None:
         self.sim = sim
         self.cores = cores
         self.costs = costs or CostModel()
         self.params = params or CfsParams()
+        self.ledger = ledger or NULL_LEDGER
         self._rqs: Dict[int, _Runqueue] = {c.id: _Runqueue(c) for c in cores}
         self._tasks: Dict[int, CfsTask] = {}
         self.context_switches = 0
@@ -162,6 +165,9 @@ class CfsScheduler:
         rq.nr_running += 1
         rq.push(thread)
         if rq.curr is None:
+            if self.ledger.enabled:
+                self.ledger.charge("cfs_wakeup", self.costs.cfs_wakeup_ns,
+                                   core=rq.core.id, domain="kernel")
             self.sim.after(self.costs.cfs_wakeup_ns, self._maybe_start, rq)
         else:
             self._check_wakeup_preempt(rq, thread)
@@ -324,6 +330,10 @@ class CfsScheduler:
         if rq.tick_event is not None:
             rq.tick_event.cancel()
             rq.tick_event = None
+        if self.ledger.enabled:
+            self.ledger.charge("kernel_ctx_switch",
+                               self.costs.kernel_ctx_switch_ns,
+                               core=rq.core.id, domain="kernel")
         rq.core.run("kernel", self.costs.kernel_ctx_switch_ns,
                     lambda: cont(rq))
 

@@ -17,6 +17,7 @@ from typing import Callable, List, Optional
 
 from repro.hardware.machine import Core
 from repro.hardware.timing import CostModel
+from repro.obs.ledger import NULL_LEDGER, OpLedger
 
 
 @dataclass(frozen=True)
@@ -32,8 +33,10 @@ class ReallocPhase:
 class KernelReallocPipeline:
     """Executes the Figure 3 pipeline on a victim core."""
 
-    def __init__(self, costs: CostModel) -> None:
+    def __init__(self, costs: CostModel,
+                 ledger: Optional[OpLedger] = None) -> None:
         self.costs = costs
+        self.ledger = ledger or NULL_LEDGER
         self.executions: int = 0
 
     def phases(self) -> List[ReallocPhase]:
@@ -80,5 +83,8 @@ class KernelReallocPipeline:
             on_done()
             return
         phase = phases[index]
+        if self.ledger.enabled:
+            self.ledger.charge(f"realloc:{phase.name}", phase.duration_ns,
+                               core=core.id, domain="kernel")
         core.run(phase.category, phase.duration_ns,
                  lambda: self._run_phase(core, phases, index + 1, on_done))

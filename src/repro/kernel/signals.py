@@ -14,6 +14,7 @@ from typing import Callable, Dict, Optional, Tuple
 from repro.sim.engine import Simulator
 from repro.hardware.timing import CostModel
 from repro.kernel.kprocess import KProcess
+from repro.obs.ledger import NULL_LEDGER, OpLedger
 
 SIGSEGV = 11
 SIGUSR1 = 10
@@ -37,9 +38,11 @@ SignalHandler = Callable[[KProcess, Signal], None]
 class KernelSignals:
     """Registers handlers and delivers signals with the kernel-path delay."""
 
-    def __init__(self, sim: Simulator, costs: CostModel) -> None:
+    def __init__(self, sim: Simulator, costs: CostModel,
+                 ledger: Optional[OpLedger] = None) -> None:
         self.sim = sim
         self.costs = costs
+        self.ledger = ledger or NULL_LEDGER
         self._handlers: Dict[Tuple[int, int], SignalHandler] = {}
         self.delivered: int = 0
         self.killed: int = 0
@@ -60,6 +63,9 @@ class KernelSignals:
         if not proc.alive:
             return
         self.delivered += 1
+        if self.ledger.enabled:
+            self.ledger.charge(f"signal_deliver:{signal.signo}",
+                               self.costs.signal_deliver_ns, domain="kernel")
         handler = self._handlers.get((proc.pid, signal.signo))
         if handler is not None and signal.signo != SIGKILL:
             handler(proc, signal)

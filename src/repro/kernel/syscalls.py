@@ -21,6 +21,7 @@ from repro.hardware.mpk import (
 from repro.hardware.timing import CostModel
 from repro.kernel.fdtable import FileDescription
 from repro.kernel.kprocess import KProcess
+from repro.obs.ledger import OpLedger
 
 
 class SyscallError(OSError):
@@ -30,40 +31,48 @@ class SyscallError(OSError):
 class SyscallLayer:
     """Executes syscalls against the functional state and accounts costs."""
 
-    def __init__(self, costs: Optional[CostModel] = None) -> None:
+    def __init__(self, costs: Optional[CostModel] = None,
+                 ledger: Optional[OpLedger] = None) -> None:
         self.costs = costs or CostModel()
-        self.counts: Dict[str, int] = {}
-        self.total_ns: int = 0
+        #: standalone layers get a private ledger so ``counts`` keeps
+        #: working; systems pass the machine-wide one in
+        self.ledger = ledger if ledger is not None else OpLedger()
         self._pkeys: Dict[int, Set[int]] = {}  # id(aspace) -> allocated keys
 
     # ------------------------------------------------------------------
-    def _account(self, name: str, cost_ns: int) -> None:
-        self.counts[name] = self.counts.get(name, 0) + 1
-        self.total_ns += cost_ns
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Per-syscall invocation counts (a view over the ledger)."""
+        return self.ledger.op_counts(domain="syscall")
+
+    @property
+    def total_ns(self) -> int:
+        """Total trap nanoseconds charged by this layer."""
+        return self.ledger.total_ns(domain="syscall")
 
     # ------------------------------------------------------------------
     # Memory
     # ------------------------------------------------------------------
     def mmap(self, aspace: AddressSpaceMap, start: int, size: int,
              perms: Permission, name: str = "") -> Region:
-        self._account("mmap", self.costs.syscall_ns)
+        self.ledger.charge("mmap", self.costs.syscall_ns, domain="syscall")
         if size <= 0:
             raise SyscallError(f"EINVAL: mmap size {size}")
         return aspace.map(Region(start=start, size=size, perms=perms,
                                  pkey=0, name=name))
 
     def munmap(self, aspace: AddressSpaceMap, region: Region) -> None:
-        self._account("munmap", self.costs.syscall_ns)
+        self.ledger.charge("munmap", self.costs.syscall_ns, domain="syscall")
         aspace.unmap(region)
 
     def mprotect(self, aspace: AddressSpaceMap, region: Region,
                  perms: Permission) -> None:
-        self._account("mprotect", self.costs.syscall_ns)
+        self.ledger.charge("mprotect", self.costs.syscall_ns, domain="syscall")
         aspace.set_perms(region, perms)
 
     def pkey_alloc(self, aspace: AddressSpaceMap) -> int:
         """Allocate a protection key in ``aspace``; key 0 stays reserved."""
-        self._account("pkey_alloc", self.costs.pkey_syscall_ns)
+        self.ledger.charge("pkey_alloc", self.costs.pkey_syscall_ns, domain="syscall")
         allocated = self._pkeys.setdefault(id(aspace), set())
         for pkey in range(1, PKEY_COUNT):
             if pkey not in allocated:
@@ -72,7 +81,7 @@ class SyscallLayer:
         raise SyscallError("ENOSPC: no free protection keys")
 
     def pkey_free(self, aspace: AddressSpaceMap, pkey: int) -> None:
-        self._account("pkey_free", self.costs.pkey_syscall_ns)
+        self.ledger.charge("pkey_free", self.costs.pkey_syscall_ns, domain="syscall")
         allocated = self._pkeys.setdefault(id(aspace), set())
         if pkey not in allocated:
             raise SyscallError(f"EINVAL: pkey {pkey} not allocated")
@@ -81,7 +90,8 @@ class SyscallLayer:
     def pkey_mprotect(self, aspace: AddressSpaceMap, region: Region,
                       pkey: int) -> None:
         """Bind ``region`` to ``pkey`` (must be allocated in ``aspace``)."""
-        self._account("pkey_mprotect", self.costs.pkey_syscall_ns)
+        self.ledger.charge("pkey_mprotect", self.costs.pkey_syscall_ns,
+                           domain="syscall")
         allocated = self._pkeys.get(id(aspace), set())
         if pkey != 0 and pkey not in allocated:
             raise SyscallError(f"EINVAL: pkey {pkey} not allocated")
@@ -95,7 +105,7 @@ class SyscallLayer:
     # ------------------------------------------------------------------
     def fork(self, parent: KProcess, name: str = "") -> KProcess:
         """Clone ``parent``: copied address-space layout, shared-by-copy fds."""
-        self._account("fork", 20 * self.costs.syscall_ns)
+        self.ledger.charge("fork", 20 * self.costs.syscall_ns, domain="syscall")
         child = KProcess(name or f"{parent.name}-child", nice=parent.nice,
                          parent=parent)
         for region in parent.aspace.regions():
@@ -109,24 +119,26 @@ class SyscallLayer:
         return child
 
     def sched_setaffinity(self, proc: KProcess, core_id: int) -> None:
-        self._account("sched_setaffinity", self.costs.syscall_ns)
+        self.ledger.charge("sched_setaffinity", self.costs.syscall_ns,
+                           domain="syscall")
         proc.bound_core = core_id
 
     def ioctl(self, proc: KProcess, request: str) -> None:
         """Generic ioctl (Caladan's scheduler uses one to fire the IPI)."""
-        self._account(f"ioctl:{request}", self.costs.syscall_ns)
+        self.ledger.charge(f"ioctl:{request}", self.costs.syscall_ns,
+                           domain="syscall")
 
     # ------------------------------------------------------------------
     # Files
     # ------------------------------------------------------------------
     def open(self, proc: KProcess, path: str, owner_label: str = "") -> int:
-        self._account("open", self.costs.syscall_ns)
+        self.ledger.charge("open", self.costs.syscall_ns, domain="syscall")
         return proc.fdtable.install(
             FileDescription(path=path, owner_label=owner_label)
         )
 
     def close(self, proc: KProcess, fd: int) -> None:
-        self._account("close", self.costs.syscall_ns)
+        self.ledger.charge("close", self.costs.syscall_ns, domain="syscall")
         try:
             proc.fdtable.close(fd)
         except KeyError as exc:
@@ -134,7 +146,7 @@ class SyscallLayer:
 
     def read_fd(self, proc: KProcess, fd: int) -> FileDescription:
         """Dereference a descriptor (stands in for read/write/fstat...)."""
-        self._account("read", self.costs.syscall_ns)
+        self.ledger.charge("read", self.costs.syscall_ns, domain="syscall")
         description = proc.fdtable.lookup(fd)
         if description is None:
             raise SyscallError(f"EBADF: fd {fd}")
@@ -149,12 +161,13 @@ class SyscallLayer:
 
         ``tid`` models the §5.3 extension of addressing a specific thread.
         """
-        self._account("sigqueue", self.costs.syscall_ns)
+        self.ledger.charge("sigqueue", self.costs.syscall_ns, domain="syscall")
         if not target.alive:
             raise SyscallError(f"ESRCH: process {target.pid} is dead")
         return (target.pid, signo, tid)
 
     def uintr_register_handler(self, proc: KProcess, handler) -> None:
         """Register a userspace-interrupt handler (one-time setup trap)."""
-        self._account("uintr_register_handler", self.costs.syscall_ns)
+        self.ledger.charge("uintr_register_handler", self.costs.syscall_ns,
+                           domain="syscall")
         proc.signal_handlers["uintr"] = handler

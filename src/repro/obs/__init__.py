@@ -1,0 +1,5 @@
+"""Observability: the instrumented operation ledger (see ledger.py)."""
+
+from repro.obs.ledger import NULL_LEDGER, NullLedger, OpLedger
+
+__all__ = ["OpLedger", "NullLedger", "NULL_LEDGER"]

@@ -95,6 +95,9 @@ class ColocationSystem:
         self.sim = sim
         self.machine = machine
         self.costs = machine.costs
+        #: every system charges operations into the machine's ledger so
+        #: per-op breakdowns line up with the hardware-level charges
+        self.ledger = machine.ledger
         self.rngs = rngs
         #: cores running application work; by convention core 0 is
         #: reserved for the system's scheduler / IOKernel when the system
@@ -155,6 +158,8 @@ class ColocationSystem:
         for core in self.worker_cores:
             core.settle()
             core.acct.clear()
+        # Op statistics cover the same window the report does.
+        self.ledger.reset()
         self._measuring_since = self.sim.now
 
     def report(self) -> SystemReport:

@@ -29,14 +29,16 @@ class Event:
     ``time`` with the positional arguments given at scheduling time.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "_alive")
+    __slots__ = ("time", "seq", "fn", "args", "_alive", "_owner")
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple,
+                 owner: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self._alive = True
+        self._owner = owner
 
     @property
     def alive(self) -> bool:
@@ -45,6 +47,8 @@ class Event:
 
     def cancel(self) -> None:
         """Cancel the event; cancelling a dead event is a no-op."""
+        if self._alive and self._owner is not None:
+            self._owner._live -= 1
         self._alive = False
 
     def __lt__(self, other: "Event") -> bool:
@@ -70,6 +74,7 @@ class Simulator:
         self.now: int = 0
         self._heap: List[Event] = []
         self._seq: int = 0
+        self._live: int = 0
         self._running = False
         self._stopped = False
         self.events_fired: int = 0
@@ -84,8 +89,9 @@ class Simulator:
                 f"cannot schedule event at t={time} before now={self.now}"
             )
         self._seq += 1
-        event = Event(int(time), self._seq, fn, args)
+        event = Event(int(time), self._seq, fn, args, owner=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def after(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
@@ -116,6 +122,7 @@ class Simulator:
         event = heapq.heappop(self._heap)
         self.now = event.time
         event._alive = False
+        self._live -= 1
         self.events_fired += 1
         event.fn(*event.args)
         return True
@@ -149,8 +156,12 @@ class Simulator:
         self._stopped = True
 
     def pending(self) -> int:
-        """Number of live events still scheduled."""
-        return sum(1 for e in self._heap if e._alive)
+        """Number of live events still scheduled.
+
+        Tracked incrementally (push / fire / cancel), so this is O(1)
+        instead of a walk over the heap's lazily-deleted dead entries.
+        """
+        return self._live
 
     # ------------------------------------------------------------------
     def _drop_dead(self) -> None:

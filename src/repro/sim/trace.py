@@ -19,6 +19,7 @@ idle.
 
 from __future__ import annotations
 
+import bisect
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -28,12 +29,20 @@ Span = Tuple[int, int, str]  # (start_ns, end_ns, category)
 
 
 class Tracer:
-    """Collects per-core activity spans."""
+    """Collects per-core activity spans.
+
+    Spans on one core are produced sequentially (each starts where the
+    previous one ended), so both the start and end columns are
+    non-decreasing — :meth:`spans_between` exploits that to locate the
+    overlap window with bisection instead of a full scan.
+    """
 
     def __init__(self, sim: Simulator, max_spans_per_core: int = 500_000):
         self.sim = sim
         self.max_spans_per_core = max_spans_per_core
         self.spans: Dict[int, List[Span]] = defaultdict(list)
+        self._starts: Dict[int, List[int]] = defaultdict(list)
+        self._ends: Dict[int, List[int]] = defaultdict(list)
         self.dropped = 0
 
     def record(self, core_id: int, start_ns: int, end_ns: int,
@@ -46,11 +55,20 @@ class Tracer:
             self.dropped += 1
             return
         spans.append((start_ns, end_ns, category))
+        self._starts[core_id].append(start_ns)
+        self._ends[core_id].append(end_ns)
 
     def spans_between(self, core_id: int, t0: int, t1: int) -> List[Span]:
         """Spans overlapping [t0, t1), clipped to it."""
+        spans = self.spans.get(core_id)
+        if not spans:
+            return []
+        # First span whose end exceeds t0, last span whose start precedes
+        # t1: an O(log n) window instead of scanning every span.
+        lo = bisect.bisect_right(self._ends[core_id], t0)
+        hi = bisect.bisect_left(self._starts[core_id], t1)
         out = []
-        for start, end, category in self.spans.get(core_id, []):
+        for start, end, category in spans[lo:hi]:
             if end <= t0 or start >= t1:
                 continue
             out.append((max(start, t0), min(end, t1), category))

@@ -22,10 +22,11 @@ tests and ablation benchmarks can demonstrate what each defense buys.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from repro.hardware.machine import Core, CoreMode
 from repro.hardware.mpk import AccessKind
+from repro.obs.ledger import NULL_LEDGER, OpLedger
 from repro.uprocess.smas import Smas
 from repro.uprocess.threads import UThread
 
@@ -38,10 +39,14 @@ class CallGate:
     """The trusted entry/exit path between uProcess and runtime mode."""
 
     def __init__(self, smas: Smas, stack_switch: bool = True,
-                 pkru_recheck: bool = True) -> None:
+                 pkru_recheck: bool = True,
+                 ledger: Optional[OpLedger] = None) -> None:
         self.smas = smas
         self.stack_switch = stack_switch
         self.pkru_recheck = pkru_recheck
+        #: gate traversals are counted only — their nanoseconds are the
+        #: callgate_enter/exit rows the switch path charges
+        self.ledger = ledger or NULL_LEDGER
         self.invocations = 0
         self.hijacks_defeated = 0
 
@@ -61,6 +66,9 @@ class CallGate:
         """
         pipe = self.smas.pipe
         self.invocations += 1
+        if self.ledger.enabled:
+            self.ledger.count_op(f"callgate:{func_name}", core=core.id,
+                                 domain="uproc")
 
         # -- Stage 1: enter privileged mode ---------------------------
         core.pkru.wrpkru(Smas.runtime_pkru().value)

@@ -14,6 +14,7 @@ from typing import List, Optional
 from repro.hardware.machine import Core
 from repro.hardware.timing import CostModel
 from repro.kernel.syscalls import SyscallLayer
+from repro.obs.ledger import OpLedger
 from repro.uprocess.callgate import CallGate
 from repro.uprocess.loader import ProgramLoader
 from repro.uprocess.smas import Smas
@@ -27,17 +28,22 @@ class SchedulingDomain:
 
     def __init__(self, name: str, cores: List[Core],
                  syscalls: SyscallLayer, costs: CostModel,
-                 rng: Optional[random.Random] = None) -> None:
+                 rng: Optional[random.Random] = None,
+                 ledger: Optional[OpLedger] = None) -> None:
         self.name = name
         self.cores = cores
         self.syscalls = syscalls
         self.costs = costs
+        #: domain machinery charges into the same ledger the syscall
+        #: layer uses unless the caller wires a different one
+        self.ledger = ledger if ledger is not None else syscalls.ledger
         self.smas = Smas(syscalls, num_cores=max(c.id for c in cores) + 1,
                          name=f"{name}/smas")
         self.queues = CommandQueues([core.id for core in cores])
-        self.gate = CallGate(self.smas)
+        self.gate = CallGate(self.smas, ledger=self.ledger)
         self.switcher = UserspaceSwitch(self.smas, costs,
-                                        rng or random.Random(0))
+                                        rng or random.Random(0),
+                                        ledger=self.ledger)
         self.loader = ProgramLoader(self.smas, self.gate)
         self.uprocs: List[UProcess] = []
         self.faults_shielded = 0

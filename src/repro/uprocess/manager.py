@@ -18,6 +18,7 @@ from repro.hardware.timing import CostModel
 from repro.kernel.kprocess import KProcess
 from repro.kernel.signals import KernelSignals, SIGSEGV, SIGTERM
 from repro.kernel.syscalls import SyscallLayer
+from repro.obs.ledger import OpLedger
 from repro.uprocess.domain import SchedulingDomain
 from repro.uprocess.loader import ProgramImage
 from repro.uprocess.smas import SmasError
@@ -30,10 +31,14 @@ class Manager:
     def __init__(self, syscalls: Optional[SyscallLayer] = None,
                  signals: Optional[KernelSignals] = None,
                  costs: Optional[CostModel] = None,
-                 rng: Optional[random.Random] = None) -> None:
-        self.syscalls = syscalls or SyscallLayer(costs)
+                 rng: Optional[random.Random] = None,
+                 ledger: Optional[OpLedger] = None) -> None:
+        self.syscalls = syscalls or SyscallLayer(costs, ledger=ledger)
         self.signals = signals
         self.costs = costs or self.syscalls.costs
+        #: one operation ledger shared by the syscall layer and every
+        #: domain this manager creates
+        self.ledger = ledger if ledger is not None else self.syscalls.ledger
         self.rng = rng or random.Random(0)
         self.kprocess = KProcess("vessel-manager")
         self.domains: List[SchedulingDomain] = []
@@ -43,7 +48,7 @@ class Manager:
                       name: str = "") -> SchedulingDomain:
         name = name or f"domain{len(self.domains)}"
         domain = SchedulingDomain(name, cores, self.syscalls, self.costs,
-                                  self.rng)
+                                  self.rng, ledger=self.ledger)
         self.domains.append(domain)
         return domain
 

@@ -21,6 +21,7 @@ from typing import Optional
 
 from repro.hardware.machine import Core, CoreMode
 from repro.hardware.timing import CostModel
+from repro.obs.ledger import NULL_LEDGER, OpLedger
 from repro.uprocess.smas import Smas
 from repro.uprocess.threads import UThread, UThreadState
 
@@ -29,10 +30,12 @@ class UserspaceSwitch:
     """Executes uProcess context switches on cores."""
 
     def __init__(self, smas: Smas, costs: CostModel,
-                 rng: Optional[random.Random] = None) -> None:
+                 rng: Optional[random.Random] = None,
+                 ledger: Optional[OpLedger] = None) -> None:
         self.smas = smas
         self.costs = costs
         self.rng = rng or random.Random(0)
+        self.ledger = ledger or NULL_LEDGER
         self.park_switches = 0
         self.preempt_switches = 0
 
@@ -95,8 +98,39 @@ class UserspaceSwitch:
         else:
             self.park_switches += 1
             cost = self.costs.vessel_park_switch_ns()
-        return (cost + self.costs.vessel_switch_noise_ns(self.rng)
-                + self.costs.jitter_ns(self.rng))
+        noise = self.costs.vessel_switch_noise_ns(self.rng)
+        jitter = self.costs.jitter_ns(self.rng)
+        if self.ledger.enabled:
+            self._charge_switch_ops(core.id, preempt, noise, jitter)
+        return cost + noise + jitter
+
+    def _charge_switch_ops(self, core_id: int, preempt: bool,
+                           noise: int, jitter: int) -> None:
+        """Itemize one switch into the ledger (Table 1's breakdown).
+
+        The park-path rows sum exactly to the end-to-end cost
+        :meth:`switch` returns — no unattributed nanoseconds.  For a
+        preemptive switch only the handler-side ``uiret`` is charged
+        here; ``uintr_send``/``uintr_deliver`` are charged by the
+        :class:`~repro.hardware.uintr.UintrController` when the wire
+        operations actually execute, so the two layers never double
+        count one preemption.
+        """
+        c = self.costs
+        charge = self.ledger.charge
+        charge("uctx_save", c.uctx_save_ns, core=core_id, domain="uproc")
+        charge("callgate_enter", c.callgate_enter_ns, core=core_id,
+               domain="uproc")
+        charge("runtime_queue", c.runtime_queue_ns, core=core_id,
+               domain="uproc")
+        charge("uctx_restore", c.uctx_restore_ns, core=core_id,
+               domain="uproc")
+        charge("callgate_exit", c.callgate_exit_ns, core=core_id,
+               domain="uproc")
+        if preempt:
+            charge("uiret", c.uiret_ns, core=core_id, domain="uproc")
+        charge("switch_noise", noise, core=core_id, domain="uproc")
+        charge("switch_jitter", jitter, core=core_id, domain="uproc")
 
     def park_current(self, core: Core) -> None:
         """Mark the core's current thread parked (it called park())."""

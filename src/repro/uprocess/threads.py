@@ -70,11 +70,17 @@ class UThread:
         #: opaque scheduler payload (pending request, batch work, ...)
         self.payload = None
         uproc.threads.append(self)
+        # Thread lifecycle ops are counted in the domain-wide ledger
+        # (reachable through the SMAS's syscall layer); creation costs no
+        # modeled nanoseconds because the kernel never participates.
+        uproc.smas.syscalls.ledger.count_op("uthread_create", domain="uproc")
 
     def destroy(self) -> None:
         """Release the stack and TLS back to the arena."""
         if self.state is not UThreadState.DEAD:
             self.state = UThreadState.DEAD
+            self.uproc.smas.syscalls.ledger.count_op("uthread_destroy",
+                                                     domain="uproc")
         if self.uproc.static_arena.owns(self.stack_base):
             self.uproc.static_arena.free(self.stack_base)
         if self.uproc.static_arena.owns(self.tls):

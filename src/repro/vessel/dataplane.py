@@ -27,8 +27,9 @@ waiting for a response").
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque
+from typing import Callable, Deque, Optional
 
+from repro.obs.ledger import NULL_LEDGER, OpLedger
 from repro.sim.engine import Simulator
 from repro.workloads.base import Request
 
@@ -42,13 +43,15 @@ class NicRxQueue:
 
     def __init__(self, sim: Simulator, deliver: Callable[[Request], None],
                  latency_ns: int = DEFAULT_NIC_LATENCY_NS,
-                 capacity: int = DEFAULT_RING_CAPACITY) -> None:
+                 capacity: int = DEFAULT_RING_CAPACITY,
+                 ledger: Optional[OpLedger] = None) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive: {capacity}")
         self.sim = sim
         self.deliver = deliver
         self.latency_ns = latency_ns
         self.capacity = capacity
+        self.ledger = ledger or NULL_LEDGER
         self.in_flight = 0
         self.received = 0
         self.dropped = 0
@@ -57,6 +60,8 @@ class NicRxQueue:
         """Called by the open-loop source; False if the ring overflowed."""
         if self.in_flight >= self.capacity:
             self.dropped += 1
+            if self.ledger.enabled:
+                self.ledger.count_op("nic_drop", domain="vessel")
             return False
         self.in_flight += 1
         self.sim.after(self.latency_ns, self._arrive, request)
@@ -65,6 +70,8 @@ class NicRxQueue:
     def _arrive(self, request: Request) -> None:
         self.in_flight -= 1
         self.received += 1
+        if self.ledger.enabled:
+            self.ledger.count_op("nic_rx", domain="vessel")
         # Arrival time is when the server can first see the packet.
         request.arrival_ns = self.sim.now
         self.deliver(request)
@@ -76,13 +83,15 @@ class StorageDevice:
     def __init__(self, sim: Simulator,
                  latency_sampler: Callable[[], int],
                  queue_depth: int = DEFAULT_QUEUE_DEPTH,
-                 name: str = "nvme0") -> None:
+                 name: str = "nvme0",
+                 ledger: Optional[OpLedger] = None) -> None:
         if queue_depth <= 0:
             raise ValueError(f"queue depth must be positive: {queue_depth}")
         self.sim = sim
         self.latency_sampler = latency_sampler
         self.queue_depth = queue_depth
         self.name = name
+        self.ledger = ledger or NULL_LEDGER
         self.inflight = 0
         self.submitted = 0
         self.completed = 0
@@ -96,6 +105,8 @@ class StorageDevice:
         backlog (SPDK's behaviour with `-EAGAIN` retry loops).
         """
         self.submitted += 1
+        if self.ledger.enabled:
+            self.ledger.count_op("storage_submit", domain="vessel")
         if self.inflight >= self.queue_depth:
             self._backlog.append(on_complete)
             self.rejected += 1
@@ -111,6 +122,8 @@ class StorageDevice:
     def _complete(self, on_complete: Callable[[], None]) -> None:
         self.inflight -= 1
         self.completed += 1
+        if self.ledger.enabled:
+            self.ledger.count_op("storage_complete", domain="vessel")
         if self._backlog:
             self._issue(self._backlog.popleft())
         on_complete()

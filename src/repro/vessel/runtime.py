@@ -37,6 +37,7 @@ class VesselRuntime:
                  syscalls: Optional[SyscallLayer] = None) -> None:
         self.domain = domain
         self.syscalls = syscalls or domain.syscalls
+        self.ledger = domain.ledger
         #: the kProcess the runtime issues kernel calls through
         self.kprocess = KProcess("vessel-runtime")
         self.proxied_syscalls = 0
@@ -49,6 +50,19 @@ class VesselRuntime:
         gate.register_privileged("mmap", self.sys_mmap)
         gate.register_privileged("dlopen", self.sys_dlopen)
         gate.register_privileged("pthread_create", self.pthread_create)
+
+    # ------------------------------------------------------------------
+    def _count_proxy(self, name: str) -> None:
+        """One proxied syscall: counted here, trap cost charged by the
+        kernel syscall layer when the runtime actually issues it."""
+        self.proxied_syscalls += 1
+        if self.ledger.enabled:
+            self.ledger.count_op(f"proxy:{name}", domain="vessel")
+
+    def _count_denied(self, name: str) -> None:
+        self.denied_syscalls += 1
+        if self.ledger.enabled:
+            self.ledger.count_op(f"denied:{name}", domain="vessel")
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -67,26 +81,26 @@ class VesselRuntime:
     # File syscalls with per-uProcess access control (§5.2.4)
     # ------------------------------------------------------------------
     def sys_open(self, uproc: UProcess, path: str) -> int:
-        self.proxied_syscalls += 1
+        self._count_proxy("open")
         kfd = self.syscalls.open(self.kprocess, path, owner_label=uproc.name)
         description = self.kprocess.fdtable.lookup(kfd)
         return uproc.install_fd(description)
 
     def sys_close(self, uproc: UProcess, ufd: int) -> None:
-        self.proxied_syscalls += 1
+        self._count_proxy("close")
         try:
             uproc.remove_fd(ufd)
         except KeyError as exc:
-            self.denied_syscalls += 1
+            self._count_denied("close")
             raise SyscallDenied(str(exc)) from exc
 
     def sys_read(self, uproc: UProcess, ufd: int) -> FileDescription:
         """Dereference a descriptor; only the owner's map is consulted, so
         brute-forcing another uProcess's descriptors yields EBADF."""
-        self.proxied_syscalls += 1
+        self._count_proxy("read")
         description = uproc.lookup_fd(ufd)
         if description is None:
-            self.denied_syscalls += 1
+            self._count_denied("read")
             raise SyscallDenied(f"EBADF: ufd {ufd} not owned by {uproc.name}")
         return description
 
@@ -97,9 +111,9 @@ class VesselRuntime:
                  perms: Permission = Permission.rw()) -> int:
         """Anonymous mappings come from the uProcess heap; executable
         mappings are categorically denied."""
-        self.proxied_syscalls += 1
+        self._count_proxy("mmap")
         if perms & Permission.EXECUTE:
-            self.denied_syscalls += 1
+            self._count_denied("mmap")
             raise SyscallDenied(
                 "mmap(PROT_EXEC) is prohibited; use dlopen through the "
                 "runtime (§4.2)"
@@ -108,5 +122,5 @@ class VesselRuntime:
 
     def sys_dlopen(self, uproc: UProcess, library: ProgramImage):
         """The only way to introduce new executable code: inspected first."""
-        self.proxied_syscalls += 1
+        self._count_proxy("dlopen")
         return self.domain.loader.dlopen(uproc, library)

@@ -96,7 +96,8 @@ class VesselSystem(ColocationSystem):
         self.rotation_quantum_ns = rotation_quantum_ns
         self.l_preempt_quantum_ns = l_preempt_quantum_ns
         self.rng = rngs.stream("vessel")
-        self.manager = Manager(costs=self.costs, rng=self.rng)
+        self.manager = Manager(costs=self.costs, rng=self.rng,
+                               ledger=self.ledger)
         self.domain = self.manager.create_domain(self.worker_cores,
                                                  name="vessel-domain")
         self.runtime = VesselRuntime(self.domain)
@@ -288,6 +289,9 @@ class VesselSystem(ColocationSystem):
         request.app.queue.appendleft(request)
         state.request = None
         self.preemptions += 1
+        if self.ledger.enabled:
+            self.ledger.count_op("sched_preemption", core=state.core.id,
+                                 domain="vessel")
         thread = state.thread
         app_state = self._apps[thread.payload.name]
         thread.state = UThreadState.PARKED
@@ -325,6 +329,9 @@ class VesselSystem(ColocationSystem):
         """UMWAIT wake + install (the core was idle)."""
         state.kind = "switch"
         state.thread = thread
+        if self.ledger.enabled:
+            self.ledger.charge("umwait_wake", self.costs.umwait_wake_ns,
+                               core=state.core.id, domain="vessel")
         cost = self.costs.umwait_wake_ns + self.switcher.switch(
             state.core, thread, preempt=False)
         state.core.run("runtime", cost, lambda: self._begin_run(state))
@@ -336,6 +343,9 @@ class VesselSystem(ColocationSystem):
         after the hardware delivery latency and performs the switch.
         """
         self.preemptions += 1
+        if self.ledger.enabled:
+            self.ledger.count_op("sched_preemption", core=state.core.id,
+                                 domain="vessel")
         self.domain.queues.of(state.core.id).push(
             Command(CommandKind.RUN_THREAD, thread))
         # Reserve the core so concurrent dispatches pick other victims.
@@ -401,6 +411,9 @@ class VesselSystem(ColocationSystem):
         if state.fifo and \
                 self.sim.now - state.run_started >= self.rotation_quantum_ns:
             self.rotations += 1
+            if self.ledger.enabled:
+                self.ledger.count_op("sched_rotation", core=state.core.id,
+                                     domain="vessel")
             self._park_thread(state, requeue=bool(app.queue))
             return
         request = app.pop_request()

@@ -2,11 +2,9 @@
 
 import pytest
 
-from repro.sim.engine import Simulator
 from repro.sim.units import MS
 from repro.hardware.machine import Machine
 from repro.hardware.membus import MemoryBus
-from repro.hardware.timing import CostModel
 from repro.baselines.cgroup_bw import CgroupBandwidthRegulator
 from repro.baselines.mba import MBA_EFFECTIVE_FRACTION, MbaRegulator
 from repro.workloads.membench import membench_app

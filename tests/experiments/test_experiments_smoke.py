@@ -2,7 +2,6 @@
 headline qualitative claims hold.  The benchmarks run the full versions;
 these keep CI fast while still exercising every code path."""
 
-import math
 
 import pytest
 

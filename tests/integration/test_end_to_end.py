@@ -1,7 +1,6 @@
 """End-to-end invariants across the whole stack, including randomized
 (property-based) runs of the full VESSEL system."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sim.engine import Simulator

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hardware.mpk import AddressSpaceMap, Permission, PKEY_COUNT
+from repro.hardware.mpk import AddressSpaceMap, Permission
 from repro.kernel.kprocess import KProcess
 from repro.kernel.syscalls import SyscallError, SyscallLayer
 

@@ -1,0 +1,191 @@
+"""Tests for the operation ledger (repro.obs.ledger)."""
+
+import json
+
+import pytest
+
+from repro.obs.ledger import (NULL_LEDGER, NullLedger, OpLedger,
+                              _bucket_index, _bucket_upper_ns)
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+
+# ----------------------------------------------------------------------
+# Charging and queries
+# ----------------------------------------------------------------------
+def test_charge_accumulates_count_and_total():
+    ledger = OpLedger()
+    ledger.charge("wrpkru", 10, core=1, domain="hw")
+    ledger.charge("wrpkru", 30, core=2, domain="hw")
+    assert ledger.op_count("wrpkru") == 2
+    assert ledger.total_ns(domain="hw", op="wrpkru") == 40
+    assert ledger.core_ns(1) == 10
+    assert ledger.core_ns(2) == 30
+
+
+def test_same_op_name_in_two_domains_stays_separate():
+    ledger = OpLedger()
+    ledger.charge("switch", 100, domain="uproc")
+    ledger.charge("switch", 7, domain="kernel")
+    assert ledger.total_ns(domain="uproc") == 100
+    assert ledger.total_ns(domain="kernel") == 7
+    assert ledger.op_count("switch") == 2
+    assert ledger.op_count("switch", domain="uproc") == 1
+
+
+def test_count_op_is_a_zero_cost_charge():
+    ledger = OpLedger()
+    ledger.count_op("uthread_create", domain="uproc")
+    assert ledger.op_count("uthread_create") == 1
+    assert ledger.total_ns() == 0
+
+
+def test_op_counts_merges_across_domains():
+    ledger = OpLedger()
+    ledger.charge("x", 1, domain="a")
+    ledger.charge("x", 1, domain="b")
+    ledger.charge("y", 1, domain="a")
+    assert ledger.op_counts() == {"x": 2, "y": 1}
+    assert ledger.op_counts(domain="a") == {"x": 1, "y": 1}
+
+
+# ----------------------------------------------------------------------
+# Histogram / percentiles
+# ----------------------------------------------------------------------
+def test_bucket_roundtrip_error_is_bounded():
+    # The bucket upper bound over-estimates by at most 1/8 (12.5 %).
+    for ns in [1, 2, 3, 7, 8, 9, 100, 160, 1000, 12345, 10**6]:
+        upper = _bucket_upper_ns(_bucket_index(ns))
+        assert ns <= upper <= ns * 1.125 + 1
+
+
+def test_percentiles_from_log_histogram():
+    ledger = OpLedger()
+    for _ in range(99):
+        ledger.charge("op", 100, domain="d")
+    ledger.charge("op", 10_000, domain="d")
+    p50 = ledger.percentile_ns("op", 50)
+    p999 = ledger.percentile_ns("op", 99.9)
+    assert p50 == pytest.approx(100, rel=0.125)
+    assert p999 == pytest.approx(10_000, rel=0.125)
+
+
+def test_percentile_of_unknown_op_is_nan():
+    assert OpLedger().percentile_ns("nope", 50) != \
+        OpLedger().percentile_ns("nope", 50)  # NaN != NaN
+
+
+# ----------------------------------------------------------------------
+# Merge / reset
+# ----------------------------------------------------------------------
+def test_merge_folds_counts_totals_and_histograms():
+    a, b = OpLedger(), OpLedger()
+    a.charge("op", 100, core=0, domain="d")
+    b.charge("op", 300, core=0, domain="d")
+    b.charge("other", 5, domain="e")
+    a.merge(b)
+    assert a.op_count("op") == 2
+    assert a.total_ns(domain="d") == 400
+    assert a.core_ns(0) == 400
+    assert a.op_count("other") == 1
+    # percentiles reflect the merged histogram
+    assert a.percentile_ns("op", 99) == pytest.approx(300, rel=0.125)
+
+
+def test_reset_clears_everything():
+    ledger = OpLedger(capture_events=True)
+    ledger.charge("op", 10, domain="d")
+    ledger.reset()
+    assert ledger.total_ns() == 0
+    assert ledger.op_count("op") == 0
+    assert ledger.events == []
+
+
+# ----------------------------------------------------------------------
+# Null ledger
+# ----------------------------------------------------------------------
+def test_null_ledger_records_nothing():
+    ledger = NullLedger()
+    ledger.charge("op", 100, core=0, domain="d")
+    ledger.count_op("op2", domain="d")
+    assert ledger.op_count("op") == 0
+    assert ledger.total_ns() == 0
+    assert not ledger.enabled
+    assert not NULL_LEDGER.enabled
+
+
+def test_hot_path_guard_contract():
+    # Components guard with `if ledger.enabled:`; both classes expose it
+    # as a cheap class attribute.
+    assert OpLedger.enabled is True
+    assert NullLedger.enabled is False
+
+
+# ----------------------------------------------------------------------
+# Export determinism
+# ----------------------------------------------------------------------
+def _populate(ledger):
+    ledger.charge("b_op", 10, core=1, domain="z")
+    ledger.charge("a_op", 20, core=0, domain="a")
+    ledger.charge("c_op", 30, domain="m")
+
+
+def test_rows_are_sorted_by_domain_then_op():
+    one, two = OpLedger(), OpLedger()
+    _populate(one)
+    # Same charges, different insertion order.
+    two.charge("c_op", 30, domain="m")
+    two.charge("b_op", 10, core=1, domain="z")
+    two.charge("a_op", 20, core=0, domain="a")
+    keys = [(d, op) for d, op, _ in one.rows()]
+    assert keys == sorted(keys)
+    assert keys == [(d, op) for d, op, _ in two.rows()]
+
+
+def test_breakdown_table_is_deterministic_and_complete():
+    one, two = OpLedger(), OpLedger()
+    _populate(one)
+    two.charge("c_op", 30, domain="m")
+    two.charge("a_op", 20, core=0, domain="a")
+    two.charge("b_op", 10, core=1, domain="z")
+    assert one.breakdown_table() == two.breakdown_table()
+    table = one.breakdown_table()
+    for op in ("a_op", "b_op", "c_op"):
+        assert op in table
+    # domain filter leaves only that domain's rows
+    filtered = one.breakdown_table(domain="a")
+    assert "a_op" in filtered and "b_op" not in filtered
+
+
+# ----------------------------------------------------------------------
+# Event capture + Chrome trace export
+# ----------------------------------------------------------------------
+def test_event_capture_is_bounded():
+    sim = Simulator()
+    ledger = OpLedger(sim=sim, capture_events=True, max_events=3)
+    for _ in range(5):
+        ledger.charge("op", 1, domain="d")
+    assert len(ledger.events) == 3
+    assert ledger.events_dropped == 2
+    # statistics keep counting past the event cap
+    assert ledger.op_count("op") == 5
+
+
+def test_chrome_trace_round_trips_through_json(tmp_path):
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.record(0, 1000, 2000, "app:x")
+    ledger = OpLedger(sim=sim, tracer=tracer, capture_events=True)
+    sim.at(1500, lambda: ledger.charge("op", 40, core=0, domain="d"))
+    sim.run()
+    path = tmp_path / "trace.json"
+    ledger.write_chrome_trace(str(path))
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+    span = [e for e in events if e["ph"] == "X" and e["pid"] == 0]
+    op = [e for e in events if e["ph"] == "X" and e["pid"] == 1]
+    assert span == [{"name": "app:x", "cat": "span", "ph": "X",
+                     "ts": 1.0, "dur": 1.0, "pid": 0, "tid": 0}]
+    assert op[0]["name"] == "op"
+    assert op[0]["ts"] == pytest.approx(1.5)
+    assert op[0]["args"]["cost_ns"] == 40

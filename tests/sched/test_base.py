@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.sched.base import ColocationSystem, SystemReport
-from repro.sim.rng import RngStreams
 from repro.workloads.base import Request
 from repro.workloads.memcached import memcached_app
 

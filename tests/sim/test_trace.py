@@ -2,10 +2,8 @@
 
 import pytest
 
-from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer, category_glyph, render_timeline
 from repro.hardware.machine import Machine
-from repro.hardware.timing import CostModel
 
 
 def test_record_and_query_spans(sim):
@@ -93,3 +91,19 @@ def test_tracer_agrees_with_accounting(sim, costs):
     machine.settle_all()
     total_app = sum(e - s for s, e, c in tracer.spans[0] if c == "app:x")
     assert total_app == core.acct.buckets["app:x"]
+
+
+def test_spans_between_bisects_correct_window(sim):
+    # Many sequential spans; windows landing on and between boundaries
+    # must return exactly the overlapping spans (bisect fast path).
+    tracer = Tracer(sim)
+    for i in range(1000):
+        tracer.record(0, i * 10, i * 10 + 10, f"s{i}")
+    assert tracer.spans_between(0, 250, 270) == [
+        (250, 260, "s25"), (260, 270, "s26")]
+    # half-open: a span ending exactly at t0 or starting at t1 is excluded
+    assert tracer.spans_between(0, 260, 260) == []
+    got = tracer.spans_between(0, 255, 9995)
+    assert got[0] == (255, 260, "s25")
+    assert got[-1] == (9990, 9995, "s999")
+    assert len(got) == 975

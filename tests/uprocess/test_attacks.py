@@ -1,7 +1,6 @@
 """The §4.2 security suite: every attack class must be defeated, and the
 ablations must show each defense is load-bearing."""
 
-import pytest
 
 from repro.uprocess import attacks as atk
 from repro.uprocess.callgate import CallGate

@@ -6,7 +6,6 @@ from repro.uprocess.loader import (
     CodeInspectionError,
     LoaderError,
     ProgramImage,
-    ProgramLoader,
 )
 from repro.uprocess.uproc import UProcessState
 

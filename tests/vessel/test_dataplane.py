@@ -1,6 +1,5 @@
 """Tests for the §5.2.5 dataplane devices and park-on-IO serving."""
 
-import random
 
 import pytest
 

@@ -7,7 +7,6 @@ scheduler preempts the long request after its quantum (a 0.36 µs
 Uintr-priced switch), so memcached's tail stays bounded.
 """
 
-import pytest
 
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams

@@ -11,7 +11,6 @@ from repro.workloads.base import (
     Request,
 )
 from repro.workloads.synthetic import ConstantService
-from repro.sim.rng import RngStreams
 
 
 def make_app(kind=AppKind.LATENCY):

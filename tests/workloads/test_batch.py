@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.sim.units import MS, US
 from repro.hardware.cache import CacheSim
 from repro.hardware.machine import Machine
 from repro.hardware.membus import MemoryBus

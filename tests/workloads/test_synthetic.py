@@ -47,7 +47,7 @@ def test_lognormal_median_and_mean():
 
 
 def test_lognormal_p999_matches_silo_spec():
-    from repro.workloads.silo import SILO_SIGMA, silo_service_sampler
+    from repro.workloads.silo import silo_service_sampler
     sampler = silo_service_sampler(random.Random(3))
     samples = sorted(sampler() for _ in range(200_000))
     p999 = samples[int(len(samples) * 0.999)]
