@@ -27,6 +27,7 @@ EXPERIMENTS = {
     "fig12": "repro.experiments.fig12_scalability",
     "fig13": "repro.experiments.fig13_membw",
     "micro": "repro.experiments.micro_uintr",
+    "chaos": "repro.experiments.fault_chaos",
     "ablations": "repro.experiments.ablations",
     "sensitivity": "repro.experiments.sensitivity",
 }

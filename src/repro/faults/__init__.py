@@ -1,0 +1,17 @@
+"""Deterministic fault injection for the uProcess/VESSEL stack.
+
+A :class:`~repro.faults.plan.FaultPlan` is a seeded, declarative list of
+faults to inject — dropped/delayed Uintr deliveries, a uThread crash
+(MPK fault -> SIGSEGV), a non-cooperative best-effort thread, a stalled
+scheduler core.  A :class:`~repro.faults.injector.FaultInjector`
+executes the plan against a running :class:`VesselSystem` and records
+what it injected and whether the system contained it.
+
+Same seed + same plan => identical injection decisions, so chaos runs
+are exactly reproducible (and CI can assert zero uncontained faults).
+"""
+
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.faults.injector import FaultInjector
+
+__all__ = ["FaultKind", "FaultPlan", "FaultSpec", "FaultInjector"]

@@ -1,0 +1,107 @@
+"""Declarative, seeded fault plans.
+
+A plan is data, not behaviour: a seed plus an ordered list of
+:class:`FaultSpec` rows.  Two plans with equal fingerprints injected
+into identical simulations produce byte-identical results — the
+determinism tests and the CI chaos job both rely on this.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class FaultKind(enum.Enum):
+    DROP_UINTR = "drop_uintr"        #: lose Uintr notifications in flight
+    DELAY_UINTR = "delay_uintr"      #: add latency to Uintr deliveries
+    CRASH_UTHREAD = "crash_uthread"  #: MPK fault -> SIGSEGV in a uThread
+    ROGUE_THREAD = "rogue_thread"    #: BE thread ignores preemption
+    STALL_SCHEDULER = "stall_scheduler"  #: scheduler core stops polling
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject.
+
+    ``at_ns`` is when the fault arms (point faults fire then; rate
+    faults like DROP_UINTR apply from then on).  ``app`` names the
+    victim application for the targeted kinds.  ``probability`` is the
+    per-send drop chance for DROP_UINTR; ``delay_ns`` the added latency
+    for DELAY_UINTR.
+    """
+
+    kind: FaultKind
+    at_ns: int = 0
+    app: Optional[str] = None
+    probability: float = 0.0
+    delay_ns: int = 0
+
+    def describe(self) -> str:
+        parts = [self.kind.value, f"at={self.at_ns}"]
+        if self.app is not None:
+            parts.append(f"app={self.app}")
+        if self.probability:
+            parts.append(f"p={self.probability}")
+        if self.delay_ns:
+            parts.append(f"delay={self.delay_ns}")
+        return " ".join(parts)
+
+
+class FaultPlan:
+    """A seeded collection of fault specs with fluent builders."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.specs: List[FaultSpec] = []
+
+    # -- fluent builders -------------------------------------------------
+    def drop_uintr(self, probability: float, at_ns: int = 0) -> "FaultPlan":
+        """Drop each Uintr notification with ``probability`` from
+        ``at_ns`` on (the posted vector survives; only the doorbell is
+        lost)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability out of range: {probability}")
+        self.specs.append(FaultSpec(FaultKind.DROP_UINTR, at_ns=at_ns,
+                                    probability=probability))
+        return self
+
+    def delay_uintr(self, delay_ns: int, probability: float = 1.0,
+                    at_ns: int = 0) -> "FaultPlan":
+        """Add ``delay_ns`` to each Uintr delivery with ``probability``
+        from ``at_ns`` on."""
+        if delay_ns <= 0:
+            raise ValueError(f"delay must be positive: {delay_ns}")
+        self.specs.append(FaultSpec(FaultKind.DELAY_UINTR, at_ns=at_ns,
+                                    probability=probability,
+                                    delay_ns=delay_ns))
+        return self
+
+    def crash(self, app: str, at_ns: int) -> "FaultPlan":
+        """An MPK fault fires inside a running thread of ``app`` at
+        ``at_ns`` (re-armed until the app is actually on a core)."""
+        self.specs.append(FaultSpec(FaultKind.CRASH_UTHREAD, at_ns=at_ns,
+                                    app=app))
+        return self
+
+    def rogue_thread(self, app: str, at_ns: int) -> "FaultPlan":
+        """Mark a running thread of ``app`` non-cooperative at
+        ``at_ns``."""
+        self.specs.append(FaultSpec(FaultKind.ROGUE_THREAD, at_ns=at_ns,
+                                    app=app))
+        return self
+
+    def stall_scheduler(self, at_ns: int) -> "FaultPlan":
+        """The dedicated scheduler core stops polling at ``at_ns``."""
+        self.specs.append(FaultSpec(FaultKind.STALL_SCHEDULER, at_ns=at_ns))
+        return self
+
+    # -------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable textual identity of the plan (seed + every spec)."""
+        rows = "; ".join(spec.describe() for spec in self.specs)
+        return f"seed={self.seed}: {rows}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultPlan {self.fingerprint()}>"

@@ -32,13 +32,19 @@ class IpiController:
         """Install the kernel interrupt handler for ``core_id``."""
         self._handlers[core_id] = handler
 
-    def send(self, target_core_id: int, vector: int = 0) -> None:
-        """Deliver an IPI to ``target_core_id`` after the kernel-path delay."""
+    def send(self, target_core_id: int, vector: int = 0,
+             op: str = "ipi_deliver", domain: str = "hw") -> None:
+        """Deliver an IPI to ``target_core_id`` after the kernel-path delay.
+
+        ``op``/``domain`` let callers re-label the ledger row — e.g. the
+        VESSEL preemption watchdog charges its kernel-IPI fallback under
+        the "fallback" domain so degradation is visible in breakdowns.
+        """
         handler = self._handlers.get(target_core_id)
         if handler is None:
             raise KeyError(f"core {target_core_id} has no IPI handler")
         self.sent += 1
         if self.ledger.enabled:
-            self.ledger.charge("ipi_deliver", self.costs.ipi_deliver_ns,
-                               core=target_core_id, domain="hw")
+            self.ledger.charge(op, self.costs.ipi_deliver_ns,
+                               core=target_core_id, domain=domain)
         self.sim.after(self.costs.ipi_deliver_ns, handler, vector)

@@ -51,6 +51,8 @@ class Core:
         self.context: Any = None
         #: optional execution tracer (repro.sim.trace.Tracer)
         self.tracer = None
+        #: True once the core is lost to an uncontained fault
+        self.wedged = False
 
     # ------------------------------------------------------------------
     # Accounting
@@ -87,6 +89,8 @@ class Core:
         ``on_done`` fires when the segment completes (not if preempted).
         Starting a segment while one is in flight is a scheduler bug.
         """
+        if self.wedged:
+            raise SimulationError(f"core {self.id} is wedged")
         if self._segment_event is not None:
             raise SimulationError(f"core {self.id} is already busy")
         if duration_ns < 0:
@@ -113,6 +117,22 @@ class Core:
             raise SimulationError(f"core {self.id} is busy; preempt() first")
         self._switch_category("idle")
         self.mode = CoreMode.IDLE
+
+    def wedge(self) -> None:
+        """Lose the core to an uncontained fault.
+
+        Any in-flight segment is abandoned, all further time accrues to
+        the "wedged" category, and :meth:`run` refuses new segments.
+        Used by fault-injection ablations to make the cost of *missing*
+        containment visible in the accounting buckets.
+        """
+        if self._segment_event is not None:
+            self._segment_event.cancel()
+            self._segment_event = None
+            self._on_done = None
+        self.wedged = True
+        self._switch_category("wedged")
+        self.mode = CoreMode.KERNEL
 
     def _complete(self) -> None:
         self._segment_event = None

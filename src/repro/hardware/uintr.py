@@ -26,8 +26,16 @@ from repro.obs.ledger import NULL_LEDGER, OpLedger
 
 VECTOR_COUNT = 64
 
+#: sentinel an inject hook returns to lose a notification (the vector
+#: stays posted in the UPID; only the doorbell is dropped)
+UINTR_DROP = -1
+
 #: handler(vector) -> None; runs on the receiver core in user mode
 UintrHandler = Callable[[int], None]
+
+#: inject(sender_id, receiver_id, vector) -> None (normal delivery),
+#: UINTR_DROP (drop the notification), or extra delay in ns (>= 0)
+UintrInjectHook = Callable[[int, int, int], Optional[int]]
 
 
 @dataclass
@@ -79,6 +87,11 @@ class UintrController:
         self.sent: int = 0
         self.delivered: int = 0
         self.deferred: int = 0
+        self.dropped: int = 0
+        self.delayed: int = 0
+        #: optional fault-injection hook consulted on every senduipi
+        #: (see :data:`UintrInjectHook`); ``None`` means no injection
+        self.inject: Optional[UintrInjectHook] = None
 
     # ---------------------------------------------------------------
     # Receiver side
@@ -112,6 +125,13 @@ class UintrController:
         if upid is not None:
             upid.suppressed = True
 
+    def pending_vectors(self, receiver_id: int) -> List[int]:
+        """Posted-but-undelivered vectors of ``receiver_id`` (PIR peek)."""
+        upid = self._upids.get(receiver_id)
+        if upid is None:
+            return []
+        return [v for v in range(VECTOR_COUNT) if upid.pending & (1 << v)]
+
     # ---------------------------------------------------------------
     # Sender side
     # ---------------------------------------------------------------
@@ -141,8 +161,29 @@ class UintrController:
         if entry.upid.suppressed:
             self.deferred += 1
             return
+        extra_ns = 0
+        if self.inject is not None:
+            disposition = self.inject(sender_id, entry.upid.receiver_id,
+                                      entry.vector)
+            if disposition == UINTR_DROP:
+                # The notification is lost in flight; the vector stays
+                # posted in the PIR, so a later senduipi (or user resume)
+                # still finds and delivers it.
+                self.dropped += 1
+                if self.ledger.enabled:
+                    self.ledger.charge("fault:uintr_drop", 0,
+                                       core=entry.upid.receiver_id,
+                                       domain="fault")
+                return
+            if disposition is not None and disposition > 0:
+                self.delayed += 1
+                extra_ns = disposition
+                if self.ledger.enabled:
+                    self.ledger.charge("fault:uintr_delay", extra_ns,
+                                       core=entry.upid.receiver_id,
+                                       domain="fault")
         self.sim.after(
-            self.costs.uintr_send_ns + self.costs.uintr_deliver_ns,
+            self.costs.uintr_send_ns + self.costs.uintr_deliver_ns + extra_ns,
             self._deliver,
             entry.upid,
         )

@@ -71,5 +71,11 @@ class KernelSignals:
             handler(proc, signal)
             return
         if signal.signo in FATAL_BY_DEFAULT:
+            # No handler installed: the kernel's default action takes the
+            # whole kProcess down — the uncontained outcome fault
+            # shielding (§4.3) exists to prevent.
             proc.kill()
             self.killed += 1
+            if self.ledger.enabled:
+                self.ledger.count_op(f"fault:default_kill:{signal.signo}",
+                                     domain="fault")

@@ -11,6 +11,15 @@ gives the repo a single place to answer the question every performance
 claim in the paper reduces to: *which operations ran on the switch path
 and what did each cost* (Table 1, Figures 1-3).
 
+Domains are free-form strings; the conventional ones are ``hw``,
+``syscall``, ``kernel``, ``uproc``, and ``vessel``, plus two reserved
+for the failure model (:data:`FAULT_DOMAIN`, :data:`FALLBACK_DOMAIN`):
+``fault`` rows count injected faults (``fault:uintr_drop``,
+``fault:uproc_crash``, ...) and ``fallback`` rows count the degraded
+recovery paths the containment machinery took (``fallback:kernel_ipi``,
+``fallback:sched_restart``, ...), so a breakdown shows not just that a
+run degraded but which mechanism absorbed the damage.
+
 The ledger keeps, per ``(domain, op)``:
 
 * an operation count and total nanoseconds;
@@ -37,6 +46,12 @@ from __future__ import annotations
 
 import json
 from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: ledger domain for injected-fault markers
+FAULT_DOMAIN = "fault"
+#: ledger domain for degraded recovery paths (watchdog retries, kernel
+#: IPIs, forced switches, scheduler restarts)
+FALLBACK_DOMAIN = "fallback"
 
 #: sub-buckets per power of two in the log histogram
 _SUBDIV = 8

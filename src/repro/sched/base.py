@@ -42,6 +42,10 @@ class SystemReport:
     completed: Dict[str, int] = field(default_factory=dict)
     #: per B-app useful nanoseconds
     useful_ns: Dict[str, int] = field(default_factory=dict)
+    #: injected-fault op counts (ledger "fault" domain), if observed
+    fault_ops: Dict[str, int] = field(default_factory=dict)
+    #: degraded-path op counts (ledger "fallback" domain), if observed
+    fallback_ops: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def throughput_mops(self, app_name: str) -> float:
@@ -176,6 +180,8 @@ class ColocationSystem:
             elapsed_ns=elapsed,
             num_worker_cores=len(self.worker_cores),
             buckets=buckets,
+            fault_ops=self.ledger.op_counts(domain="fault"),
+            fallback_ops=self.ledger.op_counts(domain="fallback"),
         )
         for app in self.apps:
             if app.is_latency:

@@ -65,6 +65,16 @@ class CallGate:
         whatever CPUID_TO_TASK_MAP says is current *after* the call.
         """
         pipe = self.smas.pipe
+        if not thread.uproc.alive:
+            # Crash containment: a thread whose uProcess was reaped while
+            # it was descheduled must not re-enter privileged mode on
+            # behalf of freed state.
+            if self.ledger.enabled:
+                self.ledger.count_op("deny:callgate_dead", core=core.id,
+                                     domain="uproc")
+            raise CallGateViolation(
+                f"gate entry refused: uProcess of {thread} is dead"
+            )
         self.invocations += 1
         if self.ledger.enabled:
             self.ledger.count_op(f"callgate:{func_name}", core=core.id,

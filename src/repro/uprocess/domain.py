@@ -47,6 +47,9 @@ class SchedulingDomain:
         self.loader = ProgramLoader(self.smas, self.gate)
         self.uprocs: List[UProcess] = []
         self.faults_shielded = 0
+        #: syscall-proxy runtime serving this domain, if any; reap()
+        #: notifies it so proxied descriptors are closed kernel-side
+        self.runtime = None
 
     # ------------------------------------------------------------------
     def core_by_id(self, core_id: int) -> Core:
@@ -78,6 +81,26 @@ class SchedulingDomain:
         self.faults_shielded += 1
         return uproc
 
+    def reap(self, uproc: UProcess) -> None:
+        """Tear down ``uproc`` and reclaim everything it held.
+
+        Idempotent: safe to call from the kill-command path, the
+        SIGSEGV containment path, and explicit destroy in any order.
+        Reclaims, in turn, the threads and descriptor map (terminate),
+        stale queued commands, proxied kernel descriptors (via the
+        attached runtime), and the SMAS slot with its pkey revoked to 0
+        until the slot is reallocated.
+        """
+        if uproc.alive:
+            uproc.terminate()
+        self.queues.purge_uproc(uproc)
+        if self.runtime is not None:
+            self.runtime.release_uprocess(uproc)
+        if uproc.slot.in_use:
+            self.smas.revoke_slot(uproc.slot)
+            self.smas.release_slot(uproc.slot)
+            self.ledger.count_op("uproc_reap", domain="uproc")
+
     def process_commands(self, core_id: int) -> List[Command]:
         """Consume the core's queue in privileged mode.
 
@@ -93,9 +116,8 @@ class SchedulingDomain:
                 break
             if command.kind is CommandKind.KILL_UPROCESS:
                 uproc = command.payload
-                if uproc.alive:
-                    uproc.terminate()
-                    self.smas.release_slot(uproc.slot)
+                if uproc.alive or uproc.slot.in_use:
+                    self.reap(uproc)
             elif command.kind is CommandKind.DELIVER_SIGNAL and \
                     hasattr(command.payload, "destroy"):
                 # §5.3: a sigqueue()d per-thread termination resolved by

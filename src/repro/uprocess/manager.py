@@ -68,9 +68,13 @@ class Manager:
             self.syscalls.sched_setaffinity(kproc, core.id)
 
             # The slot's regions were keyed when the SMAS was built; the
-            # manager (re)asserts the binding for this uProcess.
+            # manager (re)asserts the binding for this uProcess.  (After a
+            # destroy the regions sit revoked on pkey 0, so reallocating
+            # the slot must rebind both.)
             self.syscalls.pkey_mprotect(domain.smas.aspace,
                                         slot.data_region, slot.pkey)
+            self.syscalls.pkey_mprotect(domain.smas.aspace,
+                                        slot.text_region, slot.pkey)
 
             uproc = UProcess(name or image.name, slot, domain.smas, kproc)
 
@@ -103,10 +107,22 @@ class Manager:
             raise SmasError(f"{uproc.name} is not in domain {domain.name}")
         running = domain.cores_running(uproc)
         if not running:
-            uproc.terminate()
-            domain.smas.release_slot(uproc.slot)
+            domain.reap(uproc)
             return 0
         return domain.queues.broadcast_kill(uproc, running)
+
+    def teardown_uprocess(self, domain: SchedulingDomain,
+                          uproc: UProcess) -> None:
+        """Immediate full teardown (crash containment, §4.3/§5.1).
+
+        Unlike :meth:`destroy_uprocess` this never defers to the
+        kill-command path: the caller (a SIGSEGV handler) has already
+        taken the uProcess off its cores, so the slot, pkey, descriptor
+        map, and queued commands are reclaimed synchronously.
+        """
+        if uproc not in domain.uprocs:
+            raise SmasError(f"{uproc.name} is not in domain {domain.name}")
+        domain.reap(uproc)
 
     def kill_thread(self, domain: SchedulingDomain, thread) -> int:
         """Terminate one thread of a uProcess (§5.3).

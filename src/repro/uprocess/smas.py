@@ -205,6 +205,18 @@ class Smas:
             raise SmasError(f"slot {slot.index} is not in use")
         slot.in_use = False
 
+    def revoke_slot(self, slot: SmasSlot) -> None:
+        """Rebind a dead slot's regions to pkey 0 (libmpk-style revocation).
+
+        Until the slot is reallocated and
+        :meth:`Manager.create_uprocess` rebinds the slot's own key, no
+        app-mode PKRU grants access to the stale mappings, so a freed
+        slot cannot be read through a lingering key grant.
+        """
+        self.syscalls.pkey_mprotect(self.aspace, slot.data_region, 0)
+        if slot.text_region is not None:
+            self.syscalls.pkey_mprotect(self.aspace, slot.text_region, 0)
+
     def runtime_stack(self, core_id: int) -> int:
         return self._runtime_stacks[core_id]
 

@@ -69,6 +69,10 @@ class UThread:
         self.core_id: Optional[int] = None
         #: opaque scheduler payload (pending request, batch work, ...)
         self.payload = None
+        #: fault-injection flag: a rogue thread never acts on preemption
+        #: commands (it runs with user interrupts masked, §4.3's
+        #: non-cooperative case) and must be evicted via the kernel path
+        self.rogue = False
         uproc.threads.append(self)
         # Thread lifecycle ops are counted in the domain-wide ledger
         # (reachable through the SMAS's syscall layer); creation costs no

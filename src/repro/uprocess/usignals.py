@@ -86,3 +86,21 @@ class CommandQueues:
                 Command(CommandKind.KILL_UPROCESS, uproc)
             )
         return len(running_core_ids)
+
+    def purge_uproc(self, uproc) -> int:
+        """Drop every queued command addressed to ``uproc`` or its threads.
+
+        Part of crash containment: once a uProcess is torn down, stale
+        RUN_THREAD/PREEMPT commands must not resurrect its threads on a
+        core.  Returns the number of commands dropped.
+        """
+        dropped = 0
+        for queue in self.queues.values():
+            kept = [
+                command for command in queue._queue
+                if not (command.payload is uproc
+                        or getattr(command.payload, "uproc", None) is uproc)
+            ]
+            dropped += len(queue._queue) - len(kept)
+            queue._queue = deque(kept)
+        return dropped

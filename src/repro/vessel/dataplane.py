@@ -96,36 +96,62 @@ class StorageDevice:
         self.submitted = 0
         self.completed = 0
         self.rejected = 0
+        self.fenced_completions = 0
         self._backlog: Deque = deque()
+        self._fenced: set = set()
 
-    def submit(self, on_complete: Callable[[], None]) -> bool:
+    def submit(self, on_complete: Callable[[], None],
+               owner: object = None) -> bool:
         """Queue one IO; completes after the sampled device latency.
 
         When the queue pair is full the submission waits in a software
-        backlog (SPDK's behaviour with `-EAGAIN` retry loops).
+        backlog (SPDK's behaviour with `-EAGAIN` retry loops).  ``owner``
+        tags the IO so :meth:`fence` can disown it later.
         """
         self.submitted += 1
         if self.ledger.enabled:
             self.ledger.count_op("storage_submit", domain="vessel")
         if self.inflight >= self.queue_depth:
-            self._backlog.append(on_complete)
+            self._backlog.append((owner, on_complete))
             self.rejected += 1
             return False
-        self._issue(on_complete)
+        self._issue(owner, on_complete)
         return True
 
-    def _issue(self, on_complete: Callable[[], None]) -> None:
+    def fence(self, owner: object) -> int:
+        """Disown every IO submitted by ``owner`` (crash containment).
+
+        Backlogged submissions are dropped immediately; completions for
+        IOs already in flight at the device are swallowed when they pop,
+        so a reclaimed uProcess can never have a callback fire into its
+        freed state.  Returns the number of IOs disowned.
+        """
+        kept = deque(item for item in self._backlog if item[0] is not owner)
+        disowned = len(self._backlog) - len(kept)
+        self._backlog = kept
+        self._fenced.add(owner)
+        if self.ledger.enabled:
+            self.ledger.count_op("reclaim:storage_ios", domain="vessel")
+        return disowned
+
+    def _issue(self, owner: object, on_complete: Callable[[], None]) -> None:
         self.inflight += 1
         self.sim.after(max(1, int(self.latency_sampler())),
-                       self._complete, on_complete)
+                       self._complete, owner, on_complete)
 
-    def _complete(self, on_complete: Callable[[], None]) -> None:
+    def _complete(self, owner: object,
+                  on_complete: Callable[[], None]) -> None:
         self.inflight -= 1
         self.completed += 1
         if self.ledger.enabled:
             self.ledger.count_op("storage_complete", domain="vessel")
         if self._backlog:
-            self._issue(self._backlog.popleft())
+            self._issue(*self._backlog.popleft())
+        if owner is not None and owner in self._fenced:
+            self.fenced_completions += 1
+            if self.ledger.enabled:
+                self.ledger.count_op("fault:storage_fenced", domain="fault")
+            return
         on_complete()
 
     @property

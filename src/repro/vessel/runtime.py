@@ -14,7 +14,7 @@ through the runtime's inspected dlopen path.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
 from repro.hardware.mpk import Permission
 from repro.kernel.fdtable import FileDescription
@@ -42,6 +42,11 @@ class VesselRuntime:
         self.kprocess = KProcess("vessel-runtime")
         self.proxied_syscalls = 0
         self.denied_syscalls = 0
+        #: uProcess -> {ufd: kernel fd} — the runtime must remember which
+        #: kernel descriptors back each uProcess's map so close (and
+        #: crash teardown) releases them kernel-side, not just in the map
+        self._kernel_fds: Dict[UProcess, Dict[int, int]] = {}
+        domain.runtime = self
         gate = domain.gate
         gate.register_privileged("park", self._noop_park)
         gate.register_privileged("open", self.sys_open)
@@ -62,7 +67,7 @@ class VesselRuntime:
     def _count_denied(self, name: str) -> None:
         self.denied_syscalls += 1
         if self.ledger.enabled:
-            self.ledger.count_op(f"denied:{name}", domain="vessel")
+            self.ledger.count_op(f"deny:{name}", domain="vessel")
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -74,6 +79,7 @@ class VesselRuntime:
     def pthread_create(self, uproc: UProcess, name: str = "") -> UThread:
         """Create a userspace thread (§5.2.2): stack + TLS + context."""
         if not uproc.alive:
+            self._count_denied("pthread_create")
             raise SyscallDenied(f"{uproc.name} is terminated")
         return UThread(uproc, name)
 
@@ -84,7 +90,9 @@ class VesselRuntime:
         self._count_proxy("open")
         kfd = self.syscalls.open(self.kprocess, path, owner_label=uproc.name)
         description = self.kprocess.fdtable.lookup(kfd)
-        return uproc.install_fd(description)
+        ufd = uproc.install_fd(description)
+        self._kernel_fds.setdefault(uproc, {})[ufd] = kfd
+        return ufd
 
     def sys_close(self, uproc: UProcess, ufd: int) -> None:
         self._count_proxy("close")
@@ -93,6 +101,22 @@ class VesselRuntime:
         except KeyError as exc:
             self._count_denied("close")
             raise SyscallDenied(str(exc)) from exc
+        kfd = self._kernel_fds.get(uproc, {}).pop(ufd, None)
+        if kfd is not None:
+            self.syscalls.close(self.kprocess, kfd)
+
+    def release_uprocess(self, uproc: UProcess) -> int:
+        """Close every kernel descriptor still backing ``uproc``'s map.
+
+        Called by :meth:`SchedulingDomain.reap` during teardown; returns
+        the number of descriptors closed.
+        """
+        fds = self._kernel_fds.pop(uproc, {})
+        for kfd in fds.values():
+            self.syscalls.close(self.kprocess, kfd)
+        if fds and self.ledger.enabled:
+            self.ledger.count_op("reclaim:kernel_fds", domain="vessel")
+        return len(fds)
 
     def sys_read(self, uproc: UProcess, ufd: int) -> FileDescription:
         """Dereference a descriptor; only the owner's map is consulted, so
@@ -122,5 +146,10 @@ class VesselRuntime:
 
     def sys_dlopen(self, uproc: UProcess, library: ProgramImage):
         """The only way to introduce new executable code: inspected first."""
+        from repro.uprocess.loader import LoaderError
         self._count_proxy("dlopen")
-        return self.domain.loader.dlopen(uproc, library)
+        try:
+            return self.domain.loader.dlopen(uproc, library)
+        except LoaderError:
+            self._count_denied("dlopen")
+            raise

@@ -27,9 +27,10 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.sim.rng import RngStreams
 from repro.hardware.machine import Core, Machine
+from repro.kernel.signals import KernelSignals, SIGSEGV, Signal
 from repro.sched.base import ColocationSystem
 from repro.uprocess.loader import ProgramImage
 from repro.uprocess.manager import Manager
@@ -50,6 +51,26 @@ ROTATION_QUANTUM_NS = 20_000
 L_PREEMPT_QUANTUM_NS = 20_000
 #: cap on new server activations per app per reaction
 ACTIVATION_BURST = 4
+#: how long the scheduler waits for a preemption command to be acted on
+#: before escalating (normal Uintr ack is ~0.2 µs; the deadline leaves
+#: an order of magnitude of slack before the watchdog interferes)
+PREEMPT_ACK_NS = 3_000
+#: scheduler-liveness watchdog period (a stalled scheduler core is
+#: detected and kicked within one period)
+HEARTBEAT_INTERVAL_NS = 50_000
+
+
+class _PendingPreempt:
+    """One unacknowledged preemption command awaiting its deadline."""
+
+    __slots__ = ("thread", "event", "sent_at", "attempt")
+
+    def __init__(self, thread: UThread, event: Optional[Event],
+                 sent_at: int, attempt: int) -> None:
+        self.thread = thread
+        self.event = event
+        self.sent_at = sent_at
+        self.attempt = attempt
 
 
 class _CoreState:
@@ -91,13 +112,23 @@ class VesselSystem(ColocationSystem):
     def __init__(self, sim: Simulator, machine: Machine, rngs: RngStreams,
                  worker_cores: Optional[List[Core]] = None,
                  rotation_quantum_ns: int = ROTATION_QUANTUM_NS,
-                 l_preempt_quantum_ns: int = L_PREEMPT_QUANTUM_NS) -> None:
+                 l_preempt_quantum_ns: int = L_PREEMPT_QUANTUM_NS,
+                 containment: bool = True,
+                 preempt_ack_ns: int = PREEMPT_ACK_NS,
+                 heartbeat_interval_ns: int = HEARTBEAT_INTERVAL_NS) -> None:
         super().__init__(sim, machine, rngs, worker_cores)
         self.rotation_quantum_ns = rotation_quantum_ns
         self.l_preempt_quantum_ns = l_preempt_quantum_ns
+        #: failure-containment machinery (preemption watchdog, SIGSEGV
+        #: teardown, scheduler-liveness heartbeat); the ablation toggle
+        #: for fault-injection experiments
+        self.containment = containment
+        self.preempt_ack_ns = preempt_ack_ns
+        self.heartbeat_interval_ns = heartbeat_interval_ns
         self.rng = rngs.stream("vessel")
         self.manager = Manager(costs=self.costs, rng=self.rng,
                                ledger=self.ledger)
+        self.signals = KernelSignals(sim, self.costs, ledger=self.ledger)
         self.domain = self.manager.create_domain(self.worker_cores,
                                                  name="vessel-domain")
         self.runtime = VesselRuntime(self.domain)
@@ -113,6 +144,16 @@ class VesselSystem(ColocationSystem):
         self.preemptions = 0
         self.rotations = 0
         self._started = False
+        # --- containment state -------------------------------------------
+        self._pending_preempts: Dict[int, _PendingPreempt] = {}
+        self._sched_stalled = False
+        self._last_scan_ns = 0
+        self._scan_event: Optional[Event] = None
+        self.fallback_retries = 0
+        self.fallback_ipis = 0
+        self.contained_crashes = 0
+        self.sched_restarts = 0
+        self.rogue_kills = 0
 
     # ------------------------------------------------------------------
     # Setup
@@ -121,6 +162,14 @@ class VesselSystem(ColocationSystem):
         super().add_app(app)
         uproc = self.manager.create_uprocess(
             self.domain, ProgramImage(app.name), name=app.name)
+        if self.containment:
+            # Fault shielding (§4.3): a SIGSEGV on this uProcess's boot
+            # kProcess lands in the runtime's handler, which tears the
+            # uProcess down without touching co-located ones.  Without
+            # containment the kernel's default action applies.
+            self.signals.register(
+                uproc.boot_kprocess, SIGSEGV,
+                lambda proc, sig, u=uproc: self._on_sigsegv(u))
         state = _AppState(app, uproc)
         self._apps[app.name] = state
         count = len(self.worker_cores)
@@ -165,10 +214,19 @@ class VesselSystem(ColocationSystem):
             uintr.on_user_resume(core_id)
             state.uitt_index = uintr.register_sender(
                 self._scheduler_core_id, core_id, vector=1)
+            if self.containment:
+                # Kernel-IPI escape hatch for preemptions the Uintr path
+                # never acknowledges (dropped delivery, rogue thread).
+                self.machine.ipi.register_handler(
+                    core_id,
+                    lambda vec, cid=core_id: self._on_fallback_ipi(cid))
         # Prime every core with best-effort work.
         for state in self._cores.values():
             self._fill_core(state)
-        self.sim.after(self.effective_scan_ns, self._scan)
+        self._last_scan_ns = self.sim.now
+        self._scan_event = self.sim.after(self.effective_scan_ns, self._scan)
+        if self.containment:
+            self.sim.after(self.heartbeat_interval_ns, self._heartbeat)
 
     # ------------------------------------------------------------------
     # Arrival path
@@ -181,6 +239,10 @@ class VesselSystem(ColocationSystem):
         if state is None:
             # The application was destroyed; clients see resets (§5.1).
             app.queue.clear()
+            return
+        if self._sched_stalled:
+            # The scheduler core is not polling; requests pile up in the
+            # app queue until the liveness watchdog restarts the scan.
             return
         react = int(max(self.costs.sched_react_ns,
                         self.effective_scan_ns // 2)
@@ -263,6 +325,9 @@ class VesselSystem(ColocationSystem):
     # Periodic scan (rebalance + BE filling)
     # ------------------------------------------------------------------
     def _scan(self) -> None:
+        if self._sched_stalled:
+            return
+        self._last_scan_ns = self.sim.now
         for app_state in self._apps.values():
             if app_state.app.is_latency and app_state.app.queue:
                 self._dispatch_app(app_state)
@@ -271,7 +336,43 @@ class VesselSystem(ColocationSystem):
                 self._fill_core(state)
             elif state.kind == "L":
                 self._maybe_preempt_long_request(state)
-        self.sim.after(self.effective_scan_ns, self._scan)
+        self._scan_event = self.sim.after(self.effective_scan_ns, self._scan)
+
+    # ------------------------------------------------------------------
+    # Scheduler-core liveness (containment for fault class "d")
+    # ------------------------------------------------------------------
+    def stall_scheduler(self) -> None:
+        """Fault injection: the dedicated scheduler core stops polling.
+
+        Arrivals and rebalancing cease; worker cores keep draining what
+        they already have.  With containment on, the kernel-side
+        heartbeat notices within one period and restarts the scan loop.
+        """
+        self._sched_stalled = True
+        if self._scan_event is not None and self._scan_event.alive:
+            self._scan_event.cancel()
+        self._scan_event = None
+        if self.ledger.enabled:
+            self.ledger.count_op("fault:sched_stall",
+                                 core=self._scheduler_core_id, domain="fault")
+
+    def _heartbeat(self) -> None:
+        now = self.sim.now
+        if self._sched_stalled \
+                or now - self._last_scan_ns > self.heartbeat_interval_ns:
+            self.sched_restarts += 1
+            if self.ledger.enabled:
+                self.ledger.count_op("fallback:sched_restart",
+                                     core=self._scheduler_core_id,
+                                     domain="fallback")
+            # The kernel watchdog kicks the scheduler process back onto
+            # its core (modeled as one ioctl on the manager's kProcess).
+            self.manager.syscalls.ioctl(self.manager.kprocess,
+                                        "watchdog_restart")
+            self._sched_stalled = False
+            self._last_scan_ns = now
+            self._scan_event = self.sim.call_soon(self._scan)
+        self.sim.after(self.heartbeat_interval_ns, self._heartbeat)
 
     def _maybe_preempt_long_request(self, state: _CoreState) -> None:
         """§4.4 preemption: a long request is hogging a core other
@@ -351,10 +452,152 @@ class VesselSystem(ColocationSystem):
         # Reserve the core so concurrent dispatches pick other victims.
         state.kind = "switch"
         self.machine.uintr.senduipi(self._scheduler_core_id, state.uitt_index)
+        if self.containment:
+            self._arm_watchdog(state, thread, attempt=1)
+
+    # ------------------------------------------------------------------
+    # Preemption watchdog (containment for fault classes "a" and "c")
+    # ------------------------------------------------------------------
+    def _arm_watchdog(self, state: _CoreState, thread: UThread,
+                      attempt: int) -> None:
+        pending = self._pending_preempts.get(state.core.id)
+        sent_at = pending.sent_at if pending is not None else self.sim.now
+        event = self.sim.after(self.preempt_ack_ns, self._preempt_deadline,
+                               state, thread, attempt)
+        self._pending_preempts[state.core.id] = _PendingPreempt(
+            thread, event, sent_at, attempt)
+
+    def _ack_preempt(self, core_id: int) -> None:
+        pending = self._pending_preempts.pop(core_id, None)
+        if pending is not None and pending.event is not None \
+                and pending.event.alive:
+            pending.event.cancel()
+
+    def _preempt_deadline(self, state: _CoreState, thread: UThread,
+                          attempt: int) -> None:
+        core_id = state.core.id
+        pending = self._pending_preempts.get(core_id)
+        if pending is None or pending.thread is not thread:
+            return
+        if thread.state is UThreadState.DEAD or not thread.uproc.alive:
+            # The target vanished (its app was torn down); release the
+            # core reservation so the scan can refill it.
+            del self._pending_preempts[core_id]
+            if state.kind == "switch" and state.batch_run is None \
+                    and not state.core.busy:
+                state.kind = None
+                state.thread = None
+                self._fill_core(state)
+            return
+        if attempt == 1:
+            # First escalation: the notification may have been lost in
+            # flight, but the vector is still posted in the PIR, so a
+            # fresh senduipi re-raises it at Uintr cost.
+            self.fallback_retries += 1
+            if self.ledger.enabled:
+                self.ledger.count_op("fallback:uintr_retry", core=core_id,
+                                     domain="fallback")
+            self.machine.uintr.senduipi(self._scheduler_core_id,
+                                        state.uitt_index)
+            self._arm_watchdog(state, thread, attempt=2)
+            return
+        # Second escalation: give up on the userspace path; trap into the
+        # kernel and interrupt the victim core with an IPI (~15x the
+        # Uintr cost — visible in the fallback breakdown rows).
+        del self._pending_preempts[core_id]
+        self.fallback_ipis += 1
+        if self.ledger.enabled:
+            self.ledger.count_op("fallback:kernel_ipi", core=core_id,
+                                 domain="fallback")
+        self.manager.syscalls.ioctl(self.manager.kprocess, "vessel_kick")
+        self._pending_preempts[core_id] = _PendingPreempt(
+            thread, None, pending.sent_at, attempt=3)
+        self.machine.ipi.send(core_id, op="fallback:ipi_deliver",
+                              domain="fallback")
+
+    def _on_fallback_ipi(self, core_id: int) -> None:
+        """Kernel IPI handler: forcibly evict the occupant and install
+        the stuck preemption's target thread via a kernel context switch."""
+        pending = self._pending_preempts.pop(core_id, None)
+        if pending is None:
+            return  # the Uintr path won the race after all
+        state = self._cores[core_id]
+        victim = state.thread
+        if state.batch_run is not None:
+            state.batch_run.preempt()
+            state.batch_run = None
+        elif state.core.busy:
+            remaining = state.core.preempt()
+            if state.request is not None:
+                # An in-flight request survives the forced switch: its
+                # unfinished service returns to the front of its queue.
+                state.request.service_ns = max(1, remaining)
+                state.request.app.queue.appendleft(state.request)
+        state.thread = None
+        state.request = None
+        if victim is not None and victim.state is not UThreadState.DEAD:
+            if victim.rogue:
+                # A thread that ignores the preemption protocol loses its
+                # right to run (§4.3's non-cooperative case): destroy it
+                # rather than return it to the best-effort queue.
+                victim.core_id = None
+                victim.destroy()
+                self.rogue_kills += 1
+                if self.ledger.enabled:
+                    self.ledger.count_op("fault:rogue_kill", core=core_id,
+                                         domain="fault")
+            elif not victim.payload.is_latency:
+                self._return_be(victim)
+            else:
+                victim.state = UThreadState.PARKED
+                victim.core_id = None
+                self._apps[victim.payload.name].parked.append(victim)
+        # Consume whatever commands are still queued in kernel-forced
+        # privileged mode; the stuck thread itself installs below, any
+        # other still-live RUN_THREAD target goes to the FIFO.
+        thread = pending.thread
+        for command in self.domain.process_commands(core_id):
+            if command.kind is not CommandKind.RUN_THREAD:
+                continue
+            other = command.payload
+            if other is not thread and other.state is not UThreadState.DEAD \
+                    and other.uproc.alive:
+                state.fifo.append(other)
+                self._apps[other.payload.name].queued_servers += 1
+        if thread.state is UThreadState.DEAD or not thread.uproc.alive:
+            state.kind = None
+            self._fill_core(state)
+            return
+        state.kind = "switch"
+        cost = self.costs.kernel_ctx_switch_ns
+        if self.ledger.enabled:
+            self.ledger.charge("fallback:forced_switch", cost, core=core_id,
+                               domain="fallback")
+        state.core.run("kernel", cost,
+                       lambda: self._forced_switch_done(state, thread))
+
+    def _forced_switch_done(self, state: _CoreState,
+                            thread: UThread) -> None:
+        if thread.state is UThreadState.DEAD or not thread.uproc.alive:
+            state.kind = None
+            state.thread = None
+            self._fill_core(state)
+            return
+        self._start_thread(state, thread, preempt=False)
 
     def _on_uintr(self, core_id: int) -> None:
         """Uintr handler: runs on the victim core, in privileged mode."""
         state = self._cores[core_id]
+        current = state.thread
+        if current is not None and current.rogue:
+            # Non-cooperative thread: it runs with user interrupts masked,
+            # so the handler never executes and commands stay queued.  The
+            # watchdog escalates to the kernel-IPI path.
+            if self.ledger.enabled:
+                self.ledger.count_op("fault:rogue_ignore", core=core_id,
+                                     domain="fault")
+            return
+        self._ack_preempt(core_id)
         commands = self.domain.process_commands(core_id)
         for command in commands:
             if command.kind is not CommandKind.RUN_THREAD:
@@ -476,6 +719,14 @@ class VesselSystem(ColocationSystem):
 
     def _batch_chunk_done(self, state: _CoreState) -> None:
         state.batch_run = None
+        if state.thread is not None and state.thread.rogue \
+                and state.thread.state is not UThreadState.DEAD:
+            # A rogue thread never yields at chunk boundaries either: it
+            # immediately starts more work, holding the core until the
+            # kernel-IPI fallback evicts it.  (kind is left untouched so
+            # an in-flight "switch" reservation stays visible.)
+            self._run_batch_chunk(state)
+            return
         if state.kind == "switch":
             # A preemption Uintr is in flight; hand the BE thread back and
             # let the handler install the latency thread on arrival.
@@ -516,6 +767,83 @@ class VesselSystem(ColocationSystem):
         self._detach_app(state)
         return state.app
 
+    def crash_uproc(self, app_name: str) -> bool:
+        """Fault injection: an MPK fault fires inside a running thread of
+        ``app_name`` (a wild store hit another slot's pkey).
+
+        The faulting instruction raises SIGSEGV on the uProcess's boot
+        kProcess.  With containment the runtime's registered handler
+        (§4.3) tears the uProcess down and every resource is reclaimed;
+        without it the kernel's default action kills the whole kProcess
+        and the core is lost (wedged) — the ablation shows exactly what
+        fault shielding buys.  Returns False if no core is currently
+        running the app.
+        """
+        state = self._apps.get(app_name)
+        if state is None:
+            return False
+        cs = next((c for c in self._cores.values()
+                   if c.thread is not None and c.thread.payload is state.app
+                   and c.kind in ("L", "B")), None)
+        if cs is None:
+            return False
+        if self.ledger.enabled:
+            self.ledger.count_op("fault:uproc_crash", core=cs.core.id,
+                                 domain="fault")
+        # The faulting instruction aborts the in-flight segment; the
+        # request it was serving is lost (clients see resets, §5.1).
+        if cs.batch_run is not None:
+            cs.batch_run.preempt()
+            cs.batch_run = None
+        elif cs.core.busy:
+            cs.core.preempt()
+        cs.request = None
+        self.signals.post(state.uproc.boot_kprocess, Signal(SIGSEGV))
+        if not self.containment:
+            # No handler registered: the kProcess dies and takes the core
+            # with it.  Slot, pkey, and descriptors all leak.
+            cs.core.wedge()
+            cs.kind = "wedged"
+            cs.thread = None
+        return True
+
+    def _on_sigsegv(self, uproc) -> None:
+        """Runtime SIGSEGV handler (§4.3): full crash containment."""
+        self.contained_crashes += 1
+        if self.ledger.enabled:
+            self.ledger.count_op("fault:crash_contained", domain="fault")
+        state = next((s for s in self._apps.values() if s.uproc is uproc),
+                     None)
+        if state is not None:
+            self._detach_app(state)
+        else:
+            self.domain.reap(uproc)
+
+    def make_rogue(self, app_name: str) -> bool:
+        """Fault injection: mark ``app_name``'s currently running thread
+        non-cooperative — it stops acting on preemption commands and
+        never yields, until the kernel-IPI fallback evicts and kills it.
+        Returns False if the app has no thread on a core right now.
+        """
+        state = self._apps.get(app_name)
+        if state is None:
+            return False
+        thread = next((t for t in state.threads
+                       if t.state is UThreadState.RUNNING
+                       and t.core_id is not None), None)
+        if thread is None:
+            cs = next((c for c in self._cores.values()
+                       if c.thread is not None
+                       and c.thread.payload is state.app
+                       and c.kind in ("L", "B")), None)
+            if cs is None:
+                return False
+            thread = cs.thread
+        thread.rogue = True
+        if self.ledger.enabled:
+            self.ledger.count_op("fault:rogue_thread", domain="fault")
+        return True
+
     def remove_app(self, app_name: str):
         """Destroy an application (the §5.1 manager kill flow)."""
         state = self._apps.get(app_name)
@@ -540,10 +868,18 @@ class VesselSystem(ColocationSystem):
                 cs.thread = None
                 cs.request = None
                 cs.kind = None
-            self.domain.process_commands(cs.core.id)
-        if state.uproc.alive:
-            state.uproc.terminate()
-            self.domain.smas.release_slot(state.uproc.slot)
+            if cs.kind != "wedged":
+                self.domain.process_commands(cs.core.id)
+            pending = self._pending_preempts.get(cs.core.id)
+            if pending is not None and pending.thread.payload is app:
+                self._ack_preempt(cs.core.id)
+                if cs.kind == "switch" and cs.batch_run is None \
+                        and not cs.core.busy:
+                    cs.kind = None
+                    cs.thread = None
+        # Full teardown: threads, queued commands, proxied descriptors,
+        # SMAS slot + pkey (revoked until the slot is reused).
+        self.domain.reap(state.uproc)
         self._be_queue = deque(t for t in self._be_queue
                                if t.payload is not app)
         self._suspended_threads = deque(t for t in self._suspended_threads

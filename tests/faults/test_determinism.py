@@ -1,0 +1,54 @@
+"""Same seed + same plan must reproduce the run bit-for-bit.
+
+This is the property that makes fault injection usable: a failure found
+under chaos can be replayed exactly by re-running the plan, and the
+ledger export doubles as the regression fingerprint.
+"""
+
+from repro.sim.units import MS
+from repro.faults import FaultPlan
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fault_chaos import run_chaos
+
+
+def _plan(seed):
+    return (FaultPlan(seed=seed)
+            .drop_uintr(0.3, at_ns=2 * MS)
+            .delay_uintr(4_000, probability=0.2, at_ns=2 * MS)
+            .crash("silo", at_ns=3 * MS)
+            .stall_scheduler(at_ns=4 * MS))
+
+
+def _run(seed=11):
+    cfg = ExperimentConfig(num_workers=4, sim_ms=8, warmup_ms=2, seed=seed)
+    report, system, injector, ledger = run_chaos(cfg, "vessel",
+                                                 plan=_plan(seed))
+    return report, system, injector, ledger
+
+
+def test_same_seed_same_plan_is_byte_identical():
+    report_a, system_a, injector_a, ledger_a = _run()
+    report_b, system_b, injector_b, ledger_b = _run()
+
+    # Ledger export: identical down to the byte.
+    assert ledger_a.breakdown_table() == ledger_b.breakdown_table()
+    # Injection decisions replayed exactly.
+    assert injector_a.injected == injector_b.injected
+    # Latency stats — and the raw sample streams behind them.
+    assert report_a.latency == report_b.latency
+    for app_a, app_b in zip(system_a.apps, system_b.apps):
+        assert app_a.latency.samples == app_b.latency.samples
+    # Scheduler and fallback activity.
+    assert system_a.preemptions == system_b.preemptions
+    assert system_a.fallback_retries == system_b.fallback_retries
+    assert system_a.fallback_ipis == system_b.fallback_ipis
+    assert report_a.fault_ops == report_b.fault_ops
+    assert report_a.fallback_ops == report_b.fallback_ops
+
+
+def test_different_seed_diverges():
+    report_a, _, injector_a, _ = _run(seed=11)
+    report_b, _, injector_b, _ = _run(seed=12)
+    # Sanity check that the property above is not vacuous.
+    assert (injector_a.injected != injector_b.injected
+            or report_a.latency != report_b.latency)

@@ -1,0 +1,35 @@
+"""FaultPlan construction and identity."""
+
+import pytest
+
+from repro.faults import FaultKind, FaultPlan
+
+
+def test_builders_are_fluent_and_ordered():
+    plan = (FaultPlan(seed=7)
+            .drop_uintr(0.1, at_ns=100)
+            .delay_uintr(500, probability=0.5, at_ns=200)
+            .crash("mc0", at_ns=300)
+            .rogue_thread("linpack", at_ns=400)
+            .stall_scheduler(at_ns=500))
+    kinds = [spec.kind for spec in plan.specs]
+    assert kinds == [FaultKind.DROP_UINTR, FaultKind.DELAY_UINTR,
+                     FaultKind.CRASH_UTHREAD, FaultKind.ROGUE_THREAD,
+                     FaultKind.STALL_SCHEDULER]
+    assert plan.specs[2].app == "mc0"
+
+
+def test_fingerprint_is_stable_and_discriminating():
+    def make(seed, p):
+        return FaultPlan(seed=seed).drop_uintr(p).crash("a", at_ns=10)
+
+    assert make(1, 0.1).fingerprint() == make(1, 0.1).fingerprint()
+    assert make(1, 0.1).fingerprint() != make(2, 0.1).fingerprint()
+    assert make(1, 0.1).fingerprint() != make(1, 0.2).fingerprint()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FaultPlan().drop_uintr(1.5)
+    with pytest.raises(ValueError):
+        FaultPlan().delay_uintr(0)

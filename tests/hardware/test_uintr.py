@@ -128,3 +128,70 @@ def test_suspend_between_post_and_delivery_defers(uintr, sim):
     uintr.on_user_resume(1)
     sim.run()
     assert len(seen) == 1
+
+
+def test_pending_vectors_peeks_without_draining(uintr, sim):
+    seen, index = _wire(uintr)
+    uintr.on_user_suspend(1)
+    uintr.senduipi(0, index)
+    assert uintr.pending_vectors(1) == [2]
+    assert uintr.pending_vectors(1) == [2]  # peek, not drain
+    assert uintr.pending_vectors(9) == []   # unknown receiver
+    uintr.on_user_resume(1)
+    sim.run()
+    assert uintr.pending_vectors(1) == []
+    assert [v for v, _ in seen] == [2]
+
+
+def test_injected_drop_keeps_vector_posted(uintr, sim):
+    seen, index = _wire(uintr)
+    from repro.hardware.uintr import UINTR_DROP
+    uintr.inject = lambda s, r, v: UINTR_DROP
+    uintr.senduipi(0, index)
+    sim.run()
+    # The doorbell is lost but the PIR bit survives.
+    assert seen == []
+    assert uintr.dropped == 1
+    assert uintr.pending_vectors(1) == [2]
+
+
+def test_retry_after_drop_delivers_posted_vector(uintr, sim):
+    seen, index = _wire(uintr)
+    from repro.hardware.uintr import UINTR_DROP
+    dispositions = [UINTR_DROP, None]
+    uintr.inject = lambda s, r, v: dispositions.pop(0)
+    uintr.senduipi(0, index)
+    sim.run()
+    assert seen == []
+    # The watchdog's retry: a second senduipi re-raises the doorbell
+    # and the original posted vector gets delivered exactly once.
+    uintr.senduipi(0, index)
+    sim.run()
+    assert [v for v, _ in seen] == [2]
+    assert uintr.pending_vectors(1) == []
+
+
+def test_injected_delay_shifts_delivery(uintr, sim, costs):
+    seen, index = _wire(uintr)
+    uintr.inject = lambda s, r, v: 5_000
+    uintr.senduipi(0, index)
+    sim.run()
+    assert uintr.delayed == 1
+    _, when = seen[0]
+    assert when == costs.uintr_send_ns + costs.uintr_deliver_ns + 5_000
+
+
+def test_inject_hook_not_consulted_while_suppressed(uintr, sim):
+    seen, index = _wire(uintr)
+    calls = []
+    uintr.inject = lambda s, r, v: calls.append((s, r, v))
+    uintr.on_user_suspend(1)
+    uintr.senduipi(0, index)
+    sim.run()
+    # Suppression defers before the wire is ever touched, so there is
+    # no in-flight notification for the hook to drop or delay.
+    assert calls == []
+    assert uintr.deferred == 1
+    uintr.on_user_resume(1)
+    sim.run()
+    assert len(seen) == 1

@@ -113,3 +113,15 @@ def test_hijack_succeeds_without_recheck(domain, installed, machine):
 def test_hijack_with_no_mapped_task_rejected(domain, machine, two_uprocs):
     with pytest.raises(CallGateViolation):
         domain.gate.hijack_stage3(machine.cores[3], forged_pkru=0)
+
+
+def test_dead_uprocess_refused_at_the_gate(domain, installed, machine):
+    """A thread whose uProcess was reaped (crash containment) must not
+    re-enter privileged mode on behalf of freed state."""
+    thread_a, _ = installed
+    domain.gate.register_privileged("ping", lambda: "pong")
+    thread_a.uproc.terminate()
+    before = domain.gate.invocations
+    with pytest.raises(CallGateViolation):
+        domain.gate.invoke(machine.cores[0], thread_a, "ping")
+    assert domain.gate.invocations == before  # refused before stage 1

@@ -124,3 +124,66 @@ def test_kill_thread_goes_through_sigqueue(manager, domain):
     before = manager.syscalls.counts.get("sigqueue", 0)
     manager.kill_thread(domain, thread)
     assert manager.syscalls.counts["sigqueue"] == before + 1
+
+
+def test_destroy_revokes_pkey_to_default(manager, domain):
+    up = manager.create_uprocess(domain, ProgramImage("svc"))
+    assert up.slot.data_region.pkey == up.pkey
+    manager.destroy_uprocess(domain, up)
+    # Revoked regions fall back to pkey 0 so a stale stub branching into
+    # the freed slot faults instead of touching the next tenant's memory.
+    assert up.slot.data_region.pkey == 0
+    assert up.slot.text_region.pkey == 0
+
+
+def test_create_destroy_create_reuses_slot_at_limit(manager, domain):
+    """Regression: destroy must return the slot, pkey, and regions to the
+    allocator so churn at MAX_UPROCESSES never wedges the domain."""
+    ups = [manager.create_uprocess(domain, ProgramImage(f"app{i}"))
+           for i in range(MAX_UPROCESSES)]
+    victim = ups[4]
+    slot_index, pkey = victim.slot.index, victim.pkey
+    manager.destroy_uprocess(domain, victim)
+    assert not victim.slot.in_use
+    fresh = manager.create_uprocess(domain, ProgramImage("replacement"))
+    assert fresh.slot.index == slot_index
+    assert fresh.pkey == pkey
+    assert fresh.slot.data_region.pkey == fresh.pkey
+    assert fresh.slot.text_region.pkey == fresh.pkey
+    # ...and the domain is full again.
+    with pytest.raises(SmasError):
+        manager.create_uprocess(domain, ProgramImage("overflow"))
+
+
+def test_destroy_purges_queued_commands(manager, domain, machine):
+    up = manager.create_uprocess(domain, ProgramImage("svc"))
+    thread = UThread(up)
+    domain.switcher.install(machine.cores[0], thread)
+    manager.kill_thread(domain, thread)  # queues a KILL for the uproc
+    manager.destroy_uprocess(domain, up)  # lazy: queues destroy too
+    domain.process_commands(machine.cores[0].id)
+    assert not up.alive
+    for queue in domain.queues.queues.values():
+        for command in queue._queue:
+            assert command.payload is not up
+            assert getattr(command.payload, "uproc", None) is not up
+
+
+def test_teardown_uprocess_reaps_without_core_round_trip(manager, domain,
+                                                         machine):
+    up = manager.create_uprocess(domain, ProgramImage("svc"))
+    thread = UThread(up)
+    domain.switcher.install(machine.cores[0], thread)
+    manager.teardown_uprocess(domain, up)
+    # Unlike destroy_uprocess, teardown is the crash path: it reclaims
+    # immediately, without waiting for the core to enter privileged mode.
+    assert not up.alive
+    assert not up.slot.in_use
+    assert up.slot.data_region.pkey == 0
+
+
+def test_teardown_foreign_uprocess_rejected(manager, domain):
+    other_domain = manager.create_domain(domain.cores, name="other")
+    up = manager.create_uprocess(other_domain, ProgramImage("x"))
+    with pytest.raises(SmasError):
+        manager.teardown_uprocess(domain, up)

@@ -80,6 +80,43 @@ def test_storage_depth_validated(sim):
         StorageDevice(sim, lambda: 1, queue_depth=0)
 
 
+def test_storage_fence_swallows_inflight_completions(sim):
+    device = StorageDevice(sim, lambda: 1000)
+    owner, survivor = object(), object()
+    done = []
+    device.submit(lambda: done.append("victim"), owner=owner)
+    device.submit(lambda: done.append("survivor"), owner=survivor)
+    device.fence(owner)
+    sim.run()
+    # The victim's IO still occupied the device (inflight accounting is
+    # untouched) but its callback never fired into freed state.
+    assert done == ["survivor"]
+    assert device.completed == 2
+    assert device.fenced_completions == 1
+
+
+def test_storage_fence_drops_backlogged_submissions(sim):
+    device = StorageDevice(sim, lambda: 1000, queue_depth=1)
+    owner, survivor = object(), object()
+    done = []
+    device.submit(lambda: done.append("a"), owner=survivor)   # in flight
+    device.submit(lambda: done.append("b"), owner=owner)      # backlog
+    device.submit(lambda: done.append("c"), owner=survivor)   # backlog
+    assert device.fence(owner) == 1
+    sim.run()
+    assert done == ["a", "c"]
+    assert device.backlog_depth == 0
+
+
+def test_storage_untagged_ios_unaffected_by_fence(sim):
+    device = StorageDevice(sim, lambda: 1000)
+    done = []
+    device.submit(lambda: done.append(sim.now))
+    device.fence(object())
+    sim.run()
+    assert len(done) == 1
+
+
 def test_make_storage_request():
     app = storage_app()
     request = make_storage_request(app, 0, cpu1_ns=1000, io_ns=9000,

@@ -100,6 +100,60 @@ def test_syscalls_counted(runtime, two_uprocs):
     assert runtime.proxied_syscalls == before + 1
 
 
+def test_denials_charged_as_deny_ops(runtime, two_uprocs, sim):
+    from repro.obs.ledger import OpLedger
+    runtime.ledger = OpLedger(sim=sim)
+    a, b = two_uprocs
+    ufd = runtime.sys_open(a, "/private")
+    with pytest.raises(SyscallDenied):
+        runtime.sys_read(b, ufd)
+    with pytest.raises(SyscallDenied):
+        runtime.sys_close(b, ufd)
+    with pytest.raises(SyscallDenied):
+        runtime.sys_mmap(a, 4096, Permission.rx())
+    b.terminate()
+    with pytest.raises(SyscallDenied):
+        runtime.pthread_create(b)
+    ops = runtime.ledger.op_counts(domain="vessel")
+    assert ops["deny:read"] == 1
+    assert ops["deny:close"] == 1
+    assert ops["deny:mmap"] == 1
+    assert ops["deny:pthread_create"] == 1
+
+
+def test_dlopen_rejection_counted_as_denial(runtime, two_uprocs, sim):
+    from repro.obs.ledger import OpLedger
+    from repro.uprocess.loader import CodeInspectionError, ProgramImage
+    runtime.ledger = OpLedger(sim=sim)
+    a, _ = two_uprocs
+    with pytest.raises(CodeInspectionError):
+        runtime.sys_dlopen(a, ProgramImage("evil", instructions=["WRPKRU"]))
+    assert runtime.ledger.op_counts(domain="vessel")["deny:dlopen"] == 1
+
+
+def test_sys_close_releases_backing_kernel_fd(runtime, two_uprocs):
+    a, _ = two_uprocs
+    ufd = runtime.sys_open(a, "/data")
+    kfd = runtime._kernel_fds[a][ufd]
+    assert runtime.kprocess.fdtable.lookup(kfd) is not None
+    runtime.sys_close(a, ufd)
+    # Closing the uFD must also close the proxied kernel descriptor —
+    # otherwise the Manager's fd table grows without bound.
+    assert runtime.kprocess.fdtable.lookup(kfd) is None
+    assert ufd not in runtime._kernel_fds.get(a, {})
+
+
+def test_reap_closes_leftover_kernel_fds(runtime, domain, two_uprocs):
+    a, _ = two_uprocs
+    ufds = [runtime.sys_open(a, f"/f{i}") for i in range(3)]
+    kfds = [runtime._kernel_fds[a][ufd] for ufd in ufds]
+    domain.reap(a)
+    assert not a.alive
+    assert a not in runtime._kernel_fds
+    for kfd in kfds:
+        assert runtime.kprocess.fdtable.lookup(kfd) is None
+
+
 def test_invoke_through_call_gate(runtime, domain, installed, machine):
     """End to end: app thread invokes the proxied open() via the gate."""
     thread_a, _ = installed
