@@ -28,6 +28,7 @@ EXPERIMENTS = {
     "fig13": "repro.experiments.fig13_membw",
     "micro": "repro.experiments.micro_uintr",
     "chaos": "repro.experiments.fault_chaos",
+    "net": "repro.experiments.net_smoke",
     "ablations": "repro.experiments.ablations",
     "sensitivity": "repro.experiments.sensitivity",
 }
@@ -53,6 +54,10 @@ def main(argv=None) -> int:
                         help="write a Chrome trace_event JSON file "
                              "(chrome://tracing, Perfetto) after each "
                              "run")
+    parser.add_argument("--net", action="store_true",
+                        help="deliver load through the simulated "
+                             "client/link/NIC fabric and report "
+                             "client-observed latency (repro.net)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -67,8 +72,10 @@ def main(argv=None) -> int:
                      f"choose from {', '.join(EXPERIMENTS)}")
 
     from repro.experiments.common import ExperimentConfig, PAPER_PROFILE
+    from repro.net import NetConfig
     cfg = ExperimentConfig(seed=args.seed, op_breakdown=args.op_breakdown,
-                           trace_out=args.trace_out)
+                           trace_out=args.trace_out,
+                           net=NetConfig() if args.net else None)
     if args.scale == "paper":
         cfg = cfg.scaled(**PAPER_PROFILE)
 

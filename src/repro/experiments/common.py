@@ -18,9 +18,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
+from repro.sim.stats import summarize_ns
 from repro.sim.trace import Tracer
 from repro.sim.units import MS
 from repro.hardware.machine import Machine
+from repro.net import NetConfig, NetFabric
 from repro.obs.ledger import OpLedger
 from repro.hardware.timing import CostModel
 from repro.sched.base import ColocationSystem, SystemReport
@@ -32,8 +34,13 @@ from repro.baselines.linux_cfs import LinuxCfsSystem
 from repro.workloads.base import BurstySource, OpenLoopSource
 from repro.workloads.linpack import linpack_app
 from repro.workloads.membench import membench_app
-from repro.workloads.memcached import memcached_app, UsrServiceSampler
-from repro.workloads.silo import silo_app, silo_service_sampler
+from repro.workloads.memcached import (
+    memcached_app,
+    UsrPayloadSampler,
+    UsrServiceSampler,
+)
+from repro.workloads.silo import TpccPayloadSampler, silo_app, \
+    silo_service_sampler
 
 
 @dataclass
@@ -52,6 +59,9 @@ class ExperimentConfig:
     op_breakdown: bool = False
     #: write a Chrome trace_event JSON file after each run
     trace_out: Optional[str] = None
+    #: simulate clients/link/NIC (None = direct submit, the seed-faithful
+    #: default); set to a NetConfig to measure client-observed latency
+    net: Optional[NetConfig] = None
 
     @property
     def observability(self) -> bool:
@@ -97,6 +107,17 @@ def make_l_app(kind: str, name: str, rngs: RngStreams):
     raise ValueError(f"unknown L-app kind {kind!r}")
 
 
+def make_payload_sampler(kind: str, name: str, rngs: RngStreams):
+    """Wire-size sampler for an L-app kind (only the net path draws from
+    it, on its own ``net/payload/*`` stream, so direct-submit runs see
+    unchanged randomness)."""
+    if kind == "memcached":
+        return UsrPayloadSampler(rngs.stream(f"net/payload/{name}"))
+    if kind == "silo":
+        return TpccPayloadSampler(rngs.stream(f"net/payload/{name}"))
+    raise ValueError(f"unknown L-app kind {kind!r}")
+
+
 def run_colocation(system_name: str, cfg: ExperimentConfig,
                    l_specs: Sequence[Tuple[str, str, float]],
                    b_specs: Sequence[str] = ("linpack",),
@@ -139,16 +160,27 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
     system = factory(sim, machine, rngs, worker_cores=workers, **kwargs)
     system.bus_sensitivity = bus_sensitivity
 
+    # Load delivery: direct submit (the seed-faithful default) or the
+    # simulated client/link/NIC fabric (client-observed percentiles).
+    fabric = None
+    if cfg.net is not None:
+        fabric = NetFabric(sim, cfg.net, rngs, num_workers=len(workers),
+                           ledger=ledger)
     sources = []
     for kind, name, rate in l_specs:
         app, sampler = make_l_app(kind, name, rngs)
         system.add_app(app)
-        source_cls = BurstySource if cfg.bursty else OpenLoopSource
-        sources.append(source_cls(
-            sim, app, system.submit, rate, sampler,
-            rngs.stream(f"arrivals/{name}"),
-            connections=cfg.connections_per_app,
-        ))
+        if fabric is not None:
+            fabric.add_workload(app, rate, sampler,
+                                make_payload_sampler(kind, name, rngs),
+                                cfg.connections_per_app)
+        else:
+            source_cls = BurstySource if cfg.bursty else OpenLoopSource
+            sources.append(source_cls(
+                sim, app, system.submit, rate, sampler,
+                rngs.stream(f"arrivals/{name}"),
+                connections=cfg.connections_per_app,
+            ))
     for kind in b_specs:
         if kind == "linpack":
             system.add_app(linpack_app())
@@ -157,6 +189,8 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
         else:
             raise ValueError(f"unknown B-app kind {kind!r}")
 
+    if fabric is not None:
+        fabric.connect(system)
     system.start()
     if vessel_bw_cap is not None and system_name == "vessel":
         from repro.vessel.regulation import VesselBandwidthRegulator
@@ -168,6 +202,8 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
         setup_hook(sim, machine, system)
 
     sim.at(cfg.warmup_ms * MS, system.begin_measurement)
+    if fabric is not None:
+        sim.at(cfg.warmup_ms * MS, fabric.begin_measurement)
     sim.run(until=cfg.sim_ms * MS)
     if ledger is not None:
         if cfg.op_breakdown:
@@ -177,7 +213,12 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
         if cfg.trace_out is not None:
             ledger.write_chrome_trace(cfg.trace_out)
             print(f"[{system_name}] wrote Chrome trace to {cfg.trace_out}")
-    return system.report()
+    report = system.report()
+    if fabric is not None:
+        for name, recorder in fabric.client_latency.items():
+            report.client_latency[name] = summarize_ns(recorder.samples)
+        report.net_ops = fabric.counters_snapshot()
+    return report
 
 
 # ----------------------------------------------------------------------
@@ -243,9 +284,13 @@ def parse_profile(argv: Optional[List[str]] = None) -> ExperimentConfig:
                         help="print the per-op ledger breakdown")
     parser.add_argument("--trace-out", metavar="FILE", default=None,
                         help="write a Chrome trace_event JSON file")
+    parser.add_argument("--net", action="store_true",
+                        help="deliver load through the simulated "
+                             "client/link/NIC fabric (repro.net)")
     args = parser.parse_args(argv)
     cfg = ExperimentConfig(seed=args.seed, op_breakdown=args.op_breakdown,
-                           trace_out=args.trace_out)
+                           trace_out=args.trace_out,
+                           net=NetConfig() if args.net else None)
     if args.scale == "paper":
         cfg = cfg.scaled(**PAPER_PROFILE)
     return cfg

@@ -30,6 +30,8 @@ class FaultInjector:
         self.system = None
         self._drop_specs: List[FaultSpec] = []
         self._delay_specs: List[FaultSpec] = []
+        self._pkt_drop_specs: List[FaultSpec] = []
+        self._pkt_delay_specs: List[FaultSpec] = []
 
     # -------------------------------------------------------------------
     def attach(self, system) -> None:
@@ -43,6 +45,18 @@ class FaultInjector:
                              if s.kind is FaultKind.DELAY_UINTR]
         if self._drop_specs or self._delay_specs:
             system.machine.uintr.inject = self._uintr_disposition
+        self._pkt_drop_specs = [s for s in self.plan.specs
+                                if s.kind is FaultKind.DROP_PACKET]
+        self._pkt_delay_specs = [s for s in self.plan.specs
+                                 if s.kind is FaultKind.DELAY_PACKET]
+        if self._pkt_drop_specs or self._pkt_delay_specs:
+            fabric = getattr(system, "net_fabric", None)
+            if fabric is None:
+                raise RuntimeError(
+                    "packet fault specs need a network fabric "
+                    "(run with a NetConfig / --net)")
+            for link in fabric.links:
+                link.inject = self._link_disposition
         for spec in self.plan.specs:
             if spec.kind is FaultKind.CRASH_UTHREAD:
                 system.sim.at(spec.at_ns, self._crash, spec)
@@ -64,6 +78,28 @@ class FaultInjector:
         for spec in self._delay_specs:
             if now >= spec.at_ns and self.rng.random() < spec.probability:
                 self.injected[FaultKind.DELAY_UINTR] += 1
+                return spec.delay_ns
+        return None
+
+    # -------------------------------------------------------------------
+    # Link dispositions (packet loss / delay on the simulated wire)
+    # -------------------------------------------------------------------
+    def _link_disposition(self, request, nbytes: int) -> Optional[int]:
+        from repro.net.link import LINK_DROP
+        now = self.system.sim.now
+        for spec in self._pkt_drop_specs:
+            if now >= spec.at_ns and self.rng.random() < spec.probability:
+                self.injected[FaultKind.DROP_PACKET] += 1
+                if self.system.ledger.enabled:
+                    self.system.ledger.count_op("fault:packet_drop",
+                                                domain="fault")
+                return LINK_DROP
+        for spec in self._pkt_delay_specs:
+            if now >= spec.at_ns and self.rng.random() < spec.probability:
+                self.injected[FaultKind.DELAY_PACKET] += 1
+                if self.system.ledger.enabled:
+                    self.system.ledger.count_op("fault:packet_delay",
+                                                domain="fault")
                 return spec.delay_ns
         return None
 

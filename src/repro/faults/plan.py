@@ -19,6 +19,8 @@ class FaultKind(enum.Enum):
     CRASH_UTHREAD = "crash_uthread"  #: MPK fault -> SIGSEGV in a uThread
     ROGUE_THREAD = "rogue_thread"    #: BE thread ignores preemption
     STALL_SCHEDULER = "stall_scheduler"  #: scheduler core stops polling
+    DROP_PACKET = "drop_packet"      #: lose packets on a simulated link
+    DELAY_PACKET = "delay_packet"    #: add latency to packets on a link
 
 
 @dataclass(frozen=True)
@@ -95,6 +97,27 @@ class FaultPlan:
     def stall_scheduler(self, at_ns: int) -> "FaultPlan":
         """The dedicated scheduler core stops polling at ``at_ns``."""
         self.specs.append(FaultSpec(FaultKind.STALL_SCHEDULER, at_ns=at_ns))
+        return self
+
+    def drop_packets(self, probability: float, at_ns: int = 0) -> "FaultPlan":
+        """Drop each packet on the network links with ``probability``
+        from ``at_ns`` on (requires a ``repro.net`` fabric; clients see
+        the loss and retry)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability out of range: {probability}")
+        self.specs.append(FaultSpec(FaultKind.DROP_PACKET, at_ns=at_ns,
+                                    probability=probability))
+        return self
+
+    def delay_packets(self, delay_ns: int, probability: float = 1.0,
+                      at_ns: int = 0) -> "FaultPlan":
+        """Add ``delay_ns`` to each link traversal with ``probability``
+        from ``at_ns`` on (a congested or flapping switch port)."""
+        if delay_ns <= 0:
+            raise ValueError(f"delay must be positive: {delay_ns}")
+        self.specs.append(FaultSpec(FaultKind.DELAY_PACKET, at_ns=at_ns,
+                                    probability=probability,
+                                    delay_ns=delay_ns))
         return self
 
     # -------------------------------------------------------------------

@@ -1,0 +1,22 @@
+"""Cluster-scale client/network simulation (``repro.net``).
+
+Models the part of the testbed the experiments used to bypass: client
+machines generating load over a serializing 100 Gbps link into a
+multi-queue RSS NIC, with latency measured where the paper measures it —
+at the client.  See DESIGN.md §11 ("Network model").
+"""
+
+from repro.net.client import ClientMachine
+from repro.net.config import NetConfig
+from repro.net.fabric import NetFabric
+from repro.net.link import LINK_DROP, Link
+from repro.net.nic import Nic
+
+__all__ = [
+    "ClientMachine",
+    "LINK_DROP",
+    "Link",
+    "NetConfig",
+    "NetFabric",
+    "Nic",
+]

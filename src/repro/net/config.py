@@ -1,0 +1,48 @@
+"""Configuration of the simulated client/network testbed.
+
+The defaults mirror the paper's evaluation setup: four client machines
+driving the server over a single 100 Gbps ConnectX-5 port.  One
+:class:`NetConfig` parameterizes the whole fabric — both link directions,
+the multi-queue NIC, and the client generators — so an experiment turns
+the network on with ``cfg.scaled(net=NetConfig())`` (or ``--net``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.units import MS, US
+
+
+@dataclass(frozen=True)
+class NetConfig:
+    """Knobs of the simulated cluster fabric."""
+
+    #: port bandwidth per direction (the ConnectX-5 testbed link)
+    gbps: float = 100.0
+    #: one-way wire + switch propagation (each direction)
+    propagation_ns: int = 500
+    #: per-packet NIC processing + DMA into an RX ring
+    nic_ns: int = 600
+    #: Ethernet + IP + TCP framing added to every payload
+    header_bytes: int = 66
+    #: RX rings on the server NIC; 0 means one ring per worker core
+    rings: int = 0
+    #: per-ring capacity (packets) before RSS overflow drops
+    ring_capacity: int = 256
+    #: number of client machines the offered load is spread over
+    clients: int = 4
+    #: client-side response timeout before a retransmission
+    timeout_ns: int = 2 * MS
+    #: retransmissions per logical request before it counts as lost
+    max_retries: int = 1
+    #: backoff before retransmitting an *observed* drop (loss callbacks
+    #: fire long before the timeout would)
+    drop_retry_backoff_ns: int = 5 * US
+    #: closed-loop clients: each connection keeps one request in flight
+    #: and thinks for ``think_ns`` between response and next send
+    closed_loop: bool = False
+    think_ns: int = 0
+
+    def num_rings(self, num_workers: int) -> int:
+        return self.rings if self.rings > 0 else max(1, num_workers)

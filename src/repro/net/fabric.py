@@ -1,0 +1,172 @@
+"""Glue between client machines, the link, the NIC, and a server system.
+
+``NetFabric`` assembles the simulated testbed: N client machines, a
+full-duplex serializing :class:`~repro.net.link.Link` (one serializer
+per direction — the server's port is the shared bottleneck), and the
+server's multi-queue :class:`~repro.net.nic.Nic`, whose RSS rings
+deliver into the scheduling system's intake.  Responses travel back over
+the server→clients direction and are recorded by per-app client-side
+latency recorders, so the fabric's percentiles are *client-observed*
+(send to response received), strictly including everything the
+server-side recorder sees.
+
+Determinism: every random decision (arrival gaps, payload sizes, the
+RSS key) draws from the run's :class:`~repro.sim.rng.RngStreams`, so two
+runs with the same seed produce byte-identical reports.
+
+Fault injection: the fabric's links are listed in :attr:`links`; the
+fault injector installs packet drop/delay dispositions there, and every
+loss is surfaced to the owning client, which retries — loss never
+silently vanishes from the accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.client import ClientMachine, _ClientWorkload
+from repro.net.config import NetConfig
+from repro.net.link import Link
+from repro.net.nic import Nic
+from repro.obs.ledger import NULL_LEDGER, OpLedger
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.stats import LatencyRecorder
+from repro.workloads.base import App, Request
+
+#: per-app counters the fabric tracks (report rows are in this order)
+COUNTER_KEYS = ("offered", "completed", "retries", "timeouts", "losses",
+                "drops_observed", "dup_responses")
+
+
+class NetFabric:
+    """The simulated cluster around one server machine."""
+
+    def __init__(self, sim: Simulator, cfg: NetConfig, rngs: RngStreams,
+                 num_workers: int,
+                 ledger: Optional[OpLedger] = None) -> None:
+        self.sim = sim
+        self.cfg = cfg
+        self.rngs = rngs
+        self.ledger = ledger or NULL_LEDGER
+        self.link_in = Link(sim, "clients->server", cfg.gbps,
+                            cfg.propagation_ns, ledger=self.ledger,
+                            on_drop=self._on_drop)
+        self.link_out = Link(sim, "server->clients", cfg.gbps,
+                             cfg.propagation_ns, ledger=self.ledger,
+                             on_drop=self._on_drop)
+        rss_key = rngs.stream("net/rss").getrandbits(64)
+        self.nic = Nic(sim, self._server_intake,
+                       num_rings=cfg.num_rings(num_workers),
+                       ring_capacity=cfg.ring_capacity, nic_ns=cfg.nic_ns,
+                       rss_key=rss_key, ledger=self.ledger,
+                       on_drop=self._on_drop)
+        self.machines = [ClientMachine(sim, i, self, cfg)
+                         for i in range(max(1, cfg.clients))]
+        #: client-observed latency per app (send -> response received)
+        self.client_latency: Dict[str, LatencyRecorder] = {}
+        #: per-app reliability counters (see COUNTER_KEYS)
+        self.stats: Dict[str, Dict[str, int]] = {}
+        self._specs: List[Tuple[App, float, Callable, Optional[Callable],
+                                int]] = []
+        self.submit: Optional[Callable[[Request], None]] = None
+
+    @property
+    def links(self) -> List[Link]:
+        return [self.link_in, self.link_out]
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def add_workload(self, app: App, rate_mops: float,
+                     service_sampler: Callable[[], int],
+                     payload_sampler: Optional[Callable[[], Tuple[int, int]]],
+                     connections: int) -> None:
+        """Register one L-app the clients will drive."""
+        if rate_mops < 0:
+            raise ValueError(f"negative rate {rate_mops}")
+        self._specs.append((app, rate_mops, service_sampler,
+                            payload_sampler, max(1, connections)))
+        self.client_latency[app.name] = LatencyRecorder(
+            f"client/{app.name}")
+        self.stats[app.name] = {key: 0 for key in COUNTER_KEYS}
+
+    def connect(self, system) -> None:
+        """Wire the fabric into ``system`` and start the generators."""
+        if self.submit is not None:
+            raise RuntimeError("fabric already connected")
+        self.submit = system.submit
+        system.net_fabric = self
+        num_machines = len(self.machines)
+        for app, rate, service_sampler, payload_sampler, conns \
+                in self._specs:
+            for machine in self.machines:
+                conn_ids = [c for c in range(conns)
+                            if c % num_machines == machine.index]
+                if not conn_ids:
+                    continue
+                machine.add_workload(_ClientWorkload(
+                    app, service_sampler, payload_sampler, conn_ids,
+                    rate * len(conn_ids) / conns,
+                    self.rngs.stream(
+                        f"net/arrivals/{app.name}/{machine.index}")))
+        for machine in self.machines:
+            machine.start()
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+    def send_to_server(self, request: Request) -> None:
+        request.on_complete = self._server_done
+        self.link_in.send(request, request.bytes_in + self.cfg.header_bytes,
+                          self._nic_rx)
+
+    def _nic_rx(self, request: Request) -> None:
+        self.nic.rx(request)
+
+    def _server_intake(self, request: Request) -> None:
+        # The ring restamped arrival_ns; from here the request follows
+        # the exact direct-submit path through the scheduling system.
+        self.submit(request)
+
+    def _server_done(self, request: Request, now: int) -> None:
+        """App.complete hook: ship the response back to its client."""
+        self.link_out.send(request,
+                           request.bytes_out + self.cfg.header_bytes,
+                           self._deliver_response)
+
+    def _deliver_response(self, request: Request) -> None:
+        request.net_token.machine.on_response(request)
+
+    def _on_drop(self, request: Request) -> None:
+        """A link or NIC ring lost this packet; tell the owning client."""
+        pending = request.net_token
+        if pending is not None:
+            pending.machine.on_drop(request)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def bump(self, app_name: str, key: str,
+             op: Optional[str] = None) -> None:
+        stats = self.stats.get(app_name)
+        if stats is not None:
+            stats[key] += 1
+        if op is not None and self.ledger.enabled:
+            self.ledger.count_op(op, domain="net")
+
+    def record_latency(self, app_name: str, latency_ns: int) -> None:
+        recorder = self.client_latency.get(app_name)
+        if recorder is not None:
+            recorder.record(latency_ns)
+
+    def begin_measurement(self) -> None:
+        """Drop warmup-phase client statistics (in-flight state stays)."""
+        for recorder in self.client_latency.values():
+            recorder.clear()
+        for stats in self.stats.values():
+            for key in stats:
+                stats[key] = 0
+
+    def counters_snapshot(self) -> Dict[str, Dict[str, int]]:
+        return {app: dict(stats) for app, stats in self.stats.items()}

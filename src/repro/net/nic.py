@@ -1,0 +1,84 @@
+"""The server's multi-queue NIC with RSS connection steering.
+
+Instead of one software queue per application, the NIC owns a set of
+per-core RX rings (reusing :class:`~repro.vessel.dataplane.NicRxQueue`,
+so each ring keeps the depth / oldest-arrival signals the scheduler
+reads).  A connection is steered onto a ring by an RSS-style hash of
+``(app, conn_id)`` keyed with a value drawn from the run's seeded RNG
+streams — identical seeds steer identically, different seeds spread
+connections differently, and one connection's packets never reorder
+across rings.
+
+Ring operations charge the ledger under the ``net`` domain (``nic_rx``
+per delivered packet, ``nic_drop`` per overflow), and overflow drops are
+surfaced to the fabric's drop callback so clients observe the loss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, List, Optional
+
+from repro.obs.ledger import OpLedger
+from repro.sim.engine import Simulator
+from repro.vessel.dataplane import NicRxQueue
+from repro.workloads.base import Request
+
+
+class Nic:
+    """RSS steering over a fixed set of bounded RX rings."""
+
+    def __init__(self, sim: Simulator, deliver: Callable[[Request], None],
+                 num_rings: int, ring_capacity: int = 256,
+                 nic_ns: int = 600, rss_key: int = 0,
+                 ledger: Optional[OpLedger] = None,
+                 on_drop: Optional[Callable[[Request], None]] = None) -> None:
+        if num_rings <= 0:
+            raise ValueError(f"need at least one ring: {num_rings}")
+        self.sim = sim
+        self.rss_key = rss_key
+        self.rings: List[NicRxQueue] = [
+            NicRxQueue(sim, deliver, latency_ns=nic_ns,
+                       capacity=ring_capacity, ledger=ledger,
+                       on_drop=on_drop, domain="net")
+            for _ in range(num_rings)
+        ]
+        #: (app_name, conn_id) -> ring index, memoized (flows are sticky)
+        self._steering: dict = {}
+
+    # ------------------------------------------------------------------
+    def ring_for(self, app_name: str, conn_id: int) -> int:
+        """Deterministic RSS hash of the connection's flow tuple."""
+        flow = (app_name, conn_id)
+        ring = self._steering.get(flow)
+        if ring is None:
+            digest = hashlib.sha256(
+                f"{self.rss_key}/{app_name}/{conn_id}".encode("utf-8")
+            ).digest()
+            ring = int.from_bytes(digest[:8], "big") % len(self.rings)
+            self._steering[flow] = ring
+        return ring
+
+    def rx(self, request: Request) -> bool:
+        """Steer one arriving packet onto its ring; False on overflow."""
+        ring = self.rings[self.ring_for(request.app.name, request.conn_id)]
+        return ring.client_submit(request)
+
+    # ------------------------------------------------------------------
+    # Aggregate signals and counters
+    # ------------------------------------------------------------------
+    def ring_depth(self, index: int) -> int:
+        return self.rings[index].depth
+
+    def oldest_wait_ns(self, now: int) -> int:
+        """Age of the oldest packet across every ring."""
+        waits = [ring.oldest_wait_ns(now) for ring in self.rings]
+        return max(waits) if waits else 0
+
+    @property
+    def received(self) -> int:
+        return sum(ring.received for ring in self.rings)
+
+    @property
+    def dropped(self) -> int:
+        return sum(ring.dropped for ring in self.rings)

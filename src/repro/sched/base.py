@@ -46,6 +46,12 @@ class SystemReport:
     fault_ops: Dict[str, int] = field(default_factory=dict)
     #: degraded-path op counts (ledger "fallback" domain), if observed
     fallback_ops: Dict[str, int] = field(default_factory=dict)
+    #: client-observed latency summaries per L-app (only when the run
+    #: went through a ``repro.net`` fabric; empty for direct submit)
+    client_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: per-app client reliability counters (offered/completed/retries/
+    #: timeouts/losses/...), only when a fabric was attached
+    net_ops: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def throughput_mops(self, app_name: str) -> float:
@@ -87,6 +93,14 @@ class SystemReport:
 
     def p999_us(self, app_name: str) -> float:
         return self.latency.get(app_name, {}).get("p999_us", float("nan"))
+
+    def client_p99_us(self, app_name: str) -> float:
+        return self.client_latency.get(app_name, {}).get("p99_us",
+                                                         float("nan"))
+
+    def client_p999_us(self, app_name: str) -> float:
+        return self.client_latency.get(app_name, {}).get("p999_us",
+                                                         float("nan"))
 
 
 class ColocationSystem:

@@ -39,12 +39,21 @@ DEFAULT_QUEUE_DEPTH = 128
 
 
 class NicRxQueue:
-    """Bounded RX ring in front of one application."""
+    """Bounded RX ring in front of one application.
+
+    ``on_drop`` lets the submitting side *observe* overflow losses (the
+    network clients retry on it) instead of inferring them from the
+    ``dropped`` counter after the fact.  ``domain`` selects the ledger
+    domain operations are charged under ("vessel" for the per-app ring,
+    "net" when the ring is one of a multi-queue NIC's RSS rings).
+    """
 
     def __init__(self, sim: Simulator, deliver: Callable[[Request], None],
                  latency_ns: int = DEFAULT_NIC_LATENCY_NS,
                  capacity: int = DEFAULT_RING_CAPACITY,
-                 ledger: Optional[OpLedger] = None) -> None:
+                 ledger: Optional[OpLedger] = None,
+                 on_drop: Optional[Callable[[Request], None]] = None,
+                 domain: str = "vessel") -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive: {capacity}")
         self.sim = sim
@@ -52,26 +61,49 @@ class NicRxQueue:
         self.latency_ns = latency_ns
         self.capacity = capacity
         self.ledger = ledger or NULL_LEDGER
+        self.on_drop = on_drop
+        self.domain = domain
         self.in_flight = 0
         self.received = 0
         self.dropped = 0
+        #: enqueue timestamps of in-flight packets, oldest first (the
+        #: "software queues exposed to the scheduler" depth/age signals)
+        self._pending_since: Deque[int] = deque()
+
+    @property
+    def depth(self) -> int:
+        """Current ring occupancy (the scheduler's queue-depth signal)."""
+        return self.in_flight
+
+    def oldest_wait_ns(self, now: int) -> int:
+        """Age of the oldest packet still sitting in the ring."""
+        if not self._pending_since:
+            return 0
+        return now - self._pending_since[0]
 
     def client_submit(self, request: Request) -> bool:
         """Called by the open-loop source; False if the ring overflowed."""
         if self.in_flight >= self.capacity:
             self.dropped += 1
             if self.ledger.enabled:
-                self.ledger.count_op("nic_drop", domain="vessel")
+                self.ledger.count_op("nic_drop", domain=self.domain)
+            if self.on_drop is not None:
+                self.on_drop(request)
             return False
         self.in_flight += 1
+        self._pending_since.append(self.sim.now)
         self.sim.after(self.latency_ns, self._arrive, request)
         return True
 
     def _arrive(self, request: Request) -> None:
         self.in_flight -= 1
+        self._pending_since.popleft()
         self.received += 1
         if self.ledger.enabled:
-            self.ledger.count_op("nic_rx", domain="vessel")
+            # The per-packet NIC processing + DMA time is a real cost the
+            # breakdown should attribute, not just count.
+            self.ledger.charge("nic_rx", self.latency_ns,
+                               domain=self.domain)
         # Arrival time is when the server can first see the packet.
         request.arrival_ns = self.sim.now
         self.deliver(request)

@@ -30,10 +30,22 @@ class Request:
     the serving thread parks after the first CPU phase and a second CPU
     phase of ``post_io_service_ns`` runs when the IO completes (§4.4 /
     §5.2.5).  Plain requests leave both at zero.
+
+    Network integration (``repro.net``): ``client_send_ns`` is when the
+    client machine put the request on the wire — distinct from
+    ``arrival_ns``, which the NIC restamps to the *server* arrival time —
+    so inbound link/NIC queueing is part of the measured latency.
+    ``bytes_in``/``bytes_out`` are the request/response payload sizes the
+    link charges serialization for.  ``on_complete`` is the response hook
+    the client installs (fires from :meth:`App.complete`).  All of these
+    stay at their defaults when no network is configured, preserving the
+    direct-submit behaviour.
     """
 
     __slots__ = ("app", "arrival_ns", "service_ns", "conn_id", "start_ns",
-                 "io_wait_ns", "post_io_service_ns", "io_done")
+                 "io_wait_ns", "post_io_service_ns", "io_done",
+                 "client_send_ns", "bytes_in", "bytes_out", "on_complete",
+                 "net_token")
 
     def __init__(self, app: "App", arrival_ns: int, service_ns: int,
                  conn_id: int = 0) -> None:
@@ -45,8 +57,16 @@ class Request:
         self.io_wait_ns = 0
         self.post_io_service_ns = 0
         self.io_done = False
+        self.client_send_ns: Optional[int] = None
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.on_complete = None
+        #: opaque client-side identity (shared across retransmissions)
+        self.net_token = None
 
     def latency_ns(self, completion_ns: int) -> int:
+        if self.client_send_ns is not None:
+            return completion_ns - self.client_send_ns
         return completion_ns - self.arrival_ns
 
 
@@ -94,6 +114,8 @@ class App:
     def complete(self, request: Request, now: int) -> None:
         self.completed.add()
         self.latency.record(request.latency_ns(now))
+        if request.on_complete is not None:
+            request.on_complete(request, now)
 
     def reset_measurements(self) -> None:
         """Drop warmup-phase measurements (queue state is preserved)."""

@@ -32,6 +32,36 @@ class UsrServiceSampler:
         return self._set()
 
 
+class UsrPayloadSampler:
+    """(bytes_in, bytes_out) for the USR mix.
+
+    Facebook's USR pool is tiny-object dominated: keys are 16-21 B and
+    values a few bytes to a few tens of bytes.  A GET carries the key in
+    and the value out; a SET carries key+value in and a short stored-ack
+    out.  Sizes are drawn independently of the service-time sampler's
+    GET/SET coin — the correlation does not affect link serialization,
+    which only sees the byte distribution.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    def _key_bytes(self) -> int:
+        return self.rng.randint(16, 21)
+
+    def _value_bytes(self) -> int:
+        # Mostly 2-30 B with an occasional few-hundred-byte object.
+        if self.rng.random() < 0.95:
+            return self.rng.randint(2, 30)
+        return self.rng.randint(64, 512)
+
+    def __call__(self) -> tuple:
+        key, value = self._key_bytes(), self._value_bytes()
+        if self.rng.random() < _GET_FRACTION:
+            return 24 + key, 32 + value       # GET: key in, value out
+        return 32 + key + value, 8            # SET: key+value in, ack out
+
+
 def memcached_app(name: str = "memcached") -> App:
     """A memcached L-app (pair it with a UsrServiceSampler source)."""
     return App(name, AppKind.LATENCY,

@@ -25,6 +25,27 @@ def silo_service_sampler(rng: random.Random) -> LognormalService:
                             sigma=SILO_SIGMA, rng=rng)
 
 
+class TpccPayloadSampler:
+    """(bytes_in, bytes_out) for TPC-C transactions over the wire.
+
+    A transaction request ships its parameters (warehouse/district ids
+    plus 5-15 order lines for new-order, ~100-500 B total); the response
+    carries the result rows — new-order and stock-level replies run to a
+    couple of kilobytes, payment/delivery acks are small.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    def __call__(self) -> tuple:
+        bytes_in = 96 + self.rng.randint(0, 416)
+        if self.rng.random() < 0.55:          # result-heavy transactions
+            bytes_out = 512 + self.rng.randint(0, 1536)
+        else:                                  # short acks
+            bytes_out = 64 + self.rng.randint(0, 192)
+        return bytes_in, bytes_out
+
+
 def silo_app(name: str = "silo") -> App:
     sampler = LognormalService(SILO_MEDIAN_SERVICE_NS, SILO_SIGMA,
                                random.Random(0))
