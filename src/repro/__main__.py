@@ -4,16 +4,33 @@ Usage::
 
     python -m repro                      # run every experiment (smoke)
     python -m repro tab1 fig09           # selected experiments
+    python -m repro --jobs 4             # fan experiments out over processes
+    python -m repro fig09 --jobs 4       # fan one experiment's sweep out
+    python -m repro bench                # wall-clock benchmark harness
     python -m repro --list
     python -m repro --scale paper fig09
+
+Parallelism policy (``--jobs N``): with several experiments selected the
+experiments themselves run in worker processes (their stdout is captured
+and re-printed in selection order); with a single experiment its
+internal sweep points fan out instead (``ExperimentConfig.jobs``).
+Either way the bytes on stdout are identical to a ``--jobs 1`` run under
+the same seed — every simulation owns its Simulator and seeded RNG
+streams, so only the merge order matters, and that is always task order.
+Per-experiment wall-clock lines go to stderr so they never perturb the
+comparable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import importlib
+import io
 import sys
 import time
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple
 
 EXPERIMENTS = {
     "tab1": "repro.experiments.tab1_context_switch",
@@ -34,18 +51,76 @@ EXPERIMENTS = {
 }
 
 
+def _banner(name: str) -> str:
+    return f"\n{'=' * 72}\n{name}  ({EXPERIMENTS[name]})\n{'=' * 72}\n"
+
+
+def _run_one_captured(task: Tuple[str, str, object]) -> Tuple[str, str, float]:
+    """Pool worker: run one experiment with stdout captured."""
+    name, module_name, cfg = task
+    module = importlib.import_module(module_name)
+    buffer = io.StringIO()
+    started = time.perf_counter()
+    with contextlib.redirect_stdout(buffer):
+        module.main(cfg)
+    return name, buffer.getvalue(), time.perf_counter() - started
+
+
+def run_experiments(selected: Sequence[str], cfg, jobs: int = 1,
+                    stream: Optional[TextIO] = None) -> Dict[str, float]:
+    """Run experiment modules; returns per-experiment wall seconds.
+
+    Output goes to ``stream`` (default: the real stdout).  With
+    ``jobs > 1`` and several experiments, each runs in a worker process
+    and its captured stdout is re-printed in selection order; with a
+    single experiment, ``cfg.jobs`` is raised instead so the
+    experiment's internal sweep fans out.  Both paths produce the same
+    bytes as a serial run.
+    """
+    from repro.perf.parallel import parallel_map
+
+    out = stream if stream is not None else sys.stdout
+    timings: Dict[str, float] = {}
+    if jobs > 1 and len(selected) > 1:
+        worker_cfg = replace(cfg, jobs=1)
+        tasks = [(name, EXPERIMENTS[name], worker_cfg) for name in selected]
+        for name, text, took in parallel_map(_run_one_captured, tasks, jobs):
+            out.write(_banner(name))
+            out.write(text)
+            timings[name] = took
+    else:
+        if jobs > 1:
+            cfg = replace(cfg, jobs=jobs)
+        for name in selected:
+            module = importlib.import_module(EXPERIMENTS[name])
+            out.write(_banner(name))
+            out.flush()
+            started = time.perf_counter()
+            with contextlib.redirect_stdout(out):
+                module.main(cfg)
+            timings[name] = time.perf_counter() - started
+    return timings
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the uProcess/VESSEL evaluation "
                     "(SOSP 2024).")
     parser.add_argument("experiments", nargs="*",
-                        help=f"subset of: {', '.join(EXPERIMENTS)}")
+                        help=f"subset of: {', '.join(EXPERIMENTS)}; or "
+                             f"'bench' for the wall-clock benchmark "
+                             f"harness (see 'bench --help')")
     parser.add_argument("--list", action="store_true",
                         help="list experiments and exit")
     parser.add_argument("--scale", choices=["smoke", "paper"],
                         default="smoke")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="fan independent experiments (or one "
+                             "experiment's sweep points) out over N "
+                             "worker processes; output stays "
+                             "byte-identical to --jobs 1")
     parser.add_argument("--op-breakdown", action="store_true",
                         help="print a per-operation cost breakdown "
                              "(count / total ns / percentiles) after "
@@ -58,12 +133,20 @@ def main(argv=None) -> int:
                         help="deliver load through the simulated "
                              "client/link/NIC fabric and report "
                              "client-observed latency (repro.net)")
+
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        from repro.perf.bench import main as bench_main
+        return bench_main(argv[1:])
     args = parser.parse_args(argv)
 
     if args.list:
         for key, module in EXPERIMENTS.items():
             print(f"{key:12s} {module}")
         return 0
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     selected = args.experiments or list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]
@@ -79,12 +162,12 @@ def main(argv=None) -> int:
     if args.scale == "paper":
         cfg = cfg.scaled(**PAPER_PROFILE)
 
-    for name in selected:
-        module = importlib.import_module(EXPERIMENTS[name])
-        print(f"\n{'=' * 72}\n{name}  ({EXPERIMENTS[name]})\n{'=' * 72}")
-        started = time.time()
-        module.main(cfg)
-        print(f"[{name} took {time.time() - started:.1f}s]")
+    started = time.perf_counter()
+    timings = run_experiments(selected, cfg, jobs=args.jobs)
+    for name, took in timings.items():
+        print(f"[{name} took {took:.1f}s]", file=sys.stderr)
+    print(f"[total {time.perf_counter() - started:.1f}s, "
+          f"jobs={args.jobs}]", file=sys.stderr)
     return 0
 
 

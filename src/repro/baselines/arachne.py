@@ -66,8 +66,8 @@ class ArachneSystem(ColocationSystem):
             self._window_busy[app.name] = 0
         self._window_start = self.sim.now
         self._apply_grants()
-        self.sim.after(self.costs.arachne_estimator_interval_ns,
-                       self._estimate)
+        self.sim.post(self.costs.arachne_estimator_interval_ns,
+                      self._estimate)
 
     # ------------------------------------------------------------------
     # Estimator
@@ -88,8 +88,8 @@ class ArachneSystem(ColocationSystem):
             self._grants[app.name] = min(have, len(self.worker_cores))
         self._window_start = self.sim.now
         self._apply_grants()
-        self.sim.after(self.costs.arachne_estimator_interval_ns,
-                       self._estimate)
+        self.sim.post(self.costs.arachne_estimator_interval_ns,
+                      self._estimate)
 
     def _apply_grants(self) -> None:
         """Reshape core ownership to match the grants (kernel-mediated)."""

@@ -107,7 +107,7 @@ class CaladanSystem(ColocationSystem):
         self._started = True
         for state in self._cores.values():
             self._grant_idle_core(state, include_batch=True)
-        self.sim.after(self.alloc_interval_ns, self._alloc_tick)
+        self.sim.post(self.alloc_interval_ns, self._alloc_tick)
 
     # ------------------------------------------------------------------
     # Arrival path
@@ -125,8 +125,8 @@ class CaladanSystem(ColocationSystem):
             self._react_pending.add(app.name)
             react = int(self.costs.caladan_iokernel_react_ns
                         * self.control_plane_factor)
-            self.sim.after(react + self.delay_hi_ns,
-                           self._grant_check, app)
+            self.sim.post(react + self.delay_hi_ns,
+                          self._grant_check, app)
 
     def _grant_check(self, app: App) -> None:
         self._react_pending.discard(app.name)
@@ -159,7 +159,7 @@ class CaladanSystem(ColocationSystem):
         for state in self._cores.values():
             if state.kind is None and not state.core.busy:
                 self._grant_idle_core(state, include_batch=True)
-        self.sim.after(self.alloc_interval_ns, self._alloc_tick)
+        self.sim.post(self.alloc_interval_ns, self._alloc_tick)
 
     def _enforce_bw_cap(self) -> None:
         """Core-granular bandwidth throttling of the capped B-app.
@@ -327,7 +327,7 @@ class CaladanSystem(ColocationSystem):
         state.request = None
         if request.io_wait_ns > 0 and not request.io_done:
             request.io_done = True
-            self.sim.after(request.io_wait_ns, self._io_complete, request)
+            self.sim.post(request.io_wait_ns, self._io_complete, request)
             self._serve(state)
             return
         request.app.complete(request, self.sim.now)
@@ -359,7 +359,7 @@ class CaladanSystem(ColocationSystem):
         if delay <= 0:
             self._grant_idle_core(state, include_batch=False)
         else:
-            self.sim.after(delay, self._handoff_parked, state)
+            self.sim.post(delay, self._handoff_parked, state)
 
     def _handoff_parked(self, state: _CoreState) -> None:
         if state.kind is None and not state.core.busy and state.owner is None:

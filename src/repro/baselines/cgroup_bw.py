@@ -70,7 +70,7 @@ class CgroupBandwidthRegulator:
             self._schedule_quota_check()
         else:
             self._resume()
-        self.sim.after(self.period_ns, self._begin_period)
+        self.sim.post(self.period_ns, self._begin_period)
 
     def _resume(self) -> None:
         if self._run is not None and self._run.active:
@@ -84,7 +84,7 @@ class CgroupBandwidthRegulator:
         if budget <= 0:
             self._throttle()
             return
-        self.sim.after(budget, self._quota_check)
+        self.sim.post(budget, self._quota_check)
 
     def _quota_check(self) -> None:
         if self._running_since is None:

@@ -62,6 +62,10 @@ class ExperimentConfig:
     #: simulate clients/link/NIC (None = direct submit, the seed-faithful
     #: default); set to a NetConfig to measure client-observed latency
     net: Optional[NetConfig] = None
+    #: worker processes for sweep fan-out (run_colocation_batch); results
+    #: and captured stdout merge in task order, so any value produces
+    #: byte-identical output to jobs=1 under the same seed
+    jobs: int = 1
 
     @property
     def observability(self) -> bool:
@@ -214,11 +218,52 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
             ledger.write_chrome_trace(cfg.trace_out)
             print(f"[{system_name}] wrote Chrome trace to {cfg.trace_out}")
     report = system.report()
+    report.events_fired = sim.events_fired
     if fabric is not None:
         for name, recorder in fabric.client_latency.items():
             report.client_latency[name] = summarize_ns(recorder.samples)
         report.net_ops = fabric.counters_snapshot()
     return report
+
+
+# ----------------------------------------------------------------------
+# Sweep fan-out
+# ----------------------------------------------------------------------
+def _colocation_worker(task):
+    """Pool worker: one run_colocation call with stdout captured."""
+    import contextlib
+    import io
+
+    system_name, cfg, kwargs = task
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        report = run_colocation(system_name, cfg, **kwargs)
+    return report, buffer.getvalue()
+
+
+def run_colocation_batch(tasks: Sequence[Tuple[str, "ExperimentConfig",
+                                               Dict]],
+                         jobs: int = 1) -> List[SystemReport]:
+    """Run independent :func:`run_colocation` calls, fanned out over
+    ``jobs`` worker processes.
+
+    ``tasks`` rows are ``(system_name, cfg, kwargs)`` with ``kwargs``
+    passed through to :func:`run_colocation` (they must be picklable, so
+    no closures as ``setup_hook``).  Reports come back in task order and
+    each run's captured stdout is re-printed in task order, so a batch
+    is byte-identical to the equivalent serial loop — each run owns its
+    Simulator and seeded RNG streams, parallelism only changes wall
+    time.  ``jobs <= 1`` runs everything in-process.
+    """
+    from repro.perf.parallel import parallel_map
+
+    results = parallel_map(_colocation_worker, list(tasks), jobs)
+    reports = []
+    for report, text in results:
+        if text:
+            print(text, end="")
+        reports.append(report)
+    return reports
 
 
 # ----------------------------------------------------------------------
@@ -287,10 +332,14 @@ def parse_profile(argv: Optional[List[str]] = None) -> ExperimentConfig:
     parser.add_argument("--net", action="store_true",
                         help="deliver load through the simulated "
                              "client/link/NIC fabric (repro.net)")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes for sweep fan-out "
+                             "(byte-identical output to --jobs 1)")
     args = parser.parse_args(argv)
     cfg = ExperimentConfig(seed=args.seed, op_breakdown=args.op_breakdown,
                            trace_out=args.trace_out,
-                           net=NetConfig() if args.net else None)
+                           net=NetConfig() if args.net else None,
+                           jobs=max(1, args.jobs))
     if args.scale == "paper":
         cfg = cfg.scaled(**PAPER_PROFILE)
     return cfg

@@ -17,7 +17,7 @@ from repro.experiments.common import (
     format_table,
     l_capacity_mops,
     normalized_total,
-    run_colocation,
+    run_colocation_batch,
 )
 from repro.workloads.memcached import MEMCACHED_MEAN_SERVICE_NS
 
@@ -33,12 +33,15 @@ def run(cfg: Optional[ExperimentConfig] = None,
         system: str = "caladan") -> Dict:
     cfg = cfg or ExperimentConfig()
     capacity = l_capacity_mops(cfg, MEMCACHED_MEAN_SERVICE_NS)
+    reports = run_colocation_batch(
+        [(system, cfg,
+          dict(l_specs=[("memcached", "memcached", load * capacity)],
+               b_specs=("linpack",)))
+         for load in load_points],
+        jobs=cfg.jobs)
     points: List[Dict] = []
-    for load in load_points:
+    for load, report in zip(load_points, reports):
         rate = load * capacity
-        report = run_colocation(system, cfg,
-                                l_specs=[("memcached", "memcached", rate)],
-                                b_specs=("linpack",))
         total_norm = normalized_total(
             report, cfg, {"memcached": MEMCACHED_MEAN_SERVICE_NS})
         points.append({

@@ -26,7 +26,7 @@ from repro.experiments.common import (
     format_table,
     l_capacity_mops,
     normalized_total,
-    run_colocation,
+    run_colocation_batch,
 )
 from repro.workloads.memcached import MEMCACHED_MEAN_SERVICE_NS
 from repro.workloads.silo import SILO_MEDIAN_SERVICE_NS, SILO_SIGMA
@@ -46,24 +46,29 @@ LOW_LOAD_MOPS = (0.5, 1.2)
 def _sweep(cfg: ExperimentConfig, l_kind: str, mean_service_ns: float,
            systems: Sequence[str], loads: Sequence[float]) -> List[Dict]:
     capacity = l_capacity_mops(cfg, mean_service_ns)
+    points = [(system, load) for system in systems for load in loads]
+    # Every (system, load) point is an independent hermetic simulation,
+    # so the sweep fans out over cfg.jobs worker processes; reports come
+    # back in point order, keeping rows (and stdout) byte-identical to
+    # the serial loop.
+    reports = run_colocation_batch(
+        [(system, cfg, dict(l_specs=[(l_kind, l_kind, load * capacity)],
+                            b_specs=("linpack",)))
+         for system, load in points],
+        jobs=cfg.jobs)
     rows = []
-    for system in systems:
-        for load in loads:
-            rate = load * capacity
-            report = run_colocation(
-                system, cfg, l_specs=[(l_kind, l_kind, rate)],
-                b_specs=("linpack",))
-            rows.append({
-                "system": system,
-                "load": load,
-                "rate_mops": rate,
-                "l_tput_mops": report.throughput_mops(l_kind),
-                "total_normalized": normalized_total(
-                    report, cfg, {l_kind: mean_service_ns}),
-                "b_normalized": report.useful_ns.get("linpack", 0)
-                / (report.elapsed_ns * report.num_worker_cores),
-                "p999_us": report.p999_us(l_kind),
-            })
+    for (system, load), report in zip(points, reports):
+        rows.append({
+            "system": system,
+            "load": load,
+            "rate_mops": load * capacity,
+            "l_tput_mops": report.throughput_mops(l_kind),
+            "total_normalized": normalized_total(
+                report, cfg, {l_kind: mean_service_ns}),
+            "b_normalized": report.useful_ns.get("linpack", 0)
+            / (report.elapsed_ns * report.num_worker_cores),
+            "p999_us": report.p999_us(l_kind),
+        })
     return rows
 
 

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.experiments.common import (
     ExperimentConfig,
     format_table,
-    run_colocation,
+    run_colocation_batch,
 )
 
 DEFAULT_SYSTEMS = ("vessel", "caladan-dr-l")
@@ -34,24 +34,27 @@ def run(cfg: Optional[ExperimentConfig] = None,
         loads: Sequence[float] = DEFAULT_LOADS) -> Dict:
     cfg = (cfg or ExperimentConfig()).scaled(num_workers=1, bursty=True)
     capacity_mops = 1.0  # one worker core at ~1 us mean service
+    points = [(system, count, load) for system in systems
+              for count in counts for load in loads]
+    tasks = []
+    for system, count, load in points:
+        per_app = load * capacity_mops / count
+        l_specs = [("memcached", f"mc{i}", per_app) for i in range(count)]
+        tasks.append((system, cfg, dict(l_specs=l_specs, b_specs=())))
+    reports = run_colocation_batch(tasks, jobs=cfg.jobs)
     curves: List[Dict] = []
-    for system in systems:
-        for count in counts:
-            for load in loads:
-                per_app = load * capacity_mops / count
-                l_specs = [("memcached", f"mc{i}", per_app)
-                           for i in range(count)]
-                report = run_colocation(system, cfg, l_specs=l_specs,
-                                        b_specs=())
-                agg_tput = sum(report.throughput_mops(s[1]) for s in l_specs)
-                worst_p999 = max(report.p999_us(s[1]) for s in l_specs)
-                curves.append({
-                    "system": system,
-                    "instances": count,
-                    "load": load,
-                    "agg_tput_mops": agg_tput,
-                    "p999_us": worst_p999,
-                })
+    for (system, count, load), (_, _, kwargs), report in zip(points, tasks,
+                                                             reports):
+        l_specs = kwargs["l_specs"]
+        agg_tput = sum(report.throughput_mops(s[1]) for s in l_specs)
+        worst_p999 = max(report.p999_us(s[1]) for s in l_specs)
+        curves.append({
+            "system": system,
+            "instances": count,
+            "load": load,
+            "agg_tput_mops": agg_tput,
+            "p999_us": worst_p999,
+        })
     summary = {}
     for system in systems:
         for count in counts:

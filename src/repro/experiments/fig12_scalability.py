@@ -25,7 +25,7 @@ from repro.experiments.common import (
     ExperimentConfig,
     format_table,
     l_capacity_mops,
-    run_colocation,
+    run_colocation_batch,
 )
 from repro.workloads.memcached import MEMCACHED_MEAN_SERVICE_NS
 
@@ -35,17 +35,11 @@ DEFAULT_CALADAN_CORES = (32, 34, 36)
 DEFAULT_LOADS = (0.2, 0.3, 0.45, 0.6, 0.75)
 
 
-def goodput_mops(system: str, cfg: ExperimentConfig,
-                 loads: Sequence[float]) -> Dict:
+def goodput_from_reports(rates: Sequence[float], reports: Sequence) -> Dict:
     """Highest sustained throughput within the P999 limit on this grid."""
-    capacity = l_capacity_mops(cfg, MEMCACHED_MEAN_SERVICE_NS)
     best = 0.0
     best_p999 = float("nan")
-    for load in loads:
-        rate = load * capacity
-        report = run_colocation(system, cfg,
-                                l_specs=[("memcached", "memcached", rate)],
-                                b_specs=("linpack",))
+    for rate, report in zip(rates, reports):
         p999 = report.p999_us("memcached")
         tput = report.throughput_mops("memcached")
         # Must sustain the offered load AND meet the SLO.
@@ -63,13 +57,31 @@ def run(cfg: Optional[ExperimentConfig] = None,
     # Bursty clients (as in the paper's dense/bursty setups): reaction
     # latency to burst onsets is what the control plane limits.
     base = base.scaled(bursty=True)
-    points: List[Dict] = []
+    # Every (system, cores, load) cell is independent, so the whole grid
+    # fans out at once; goodput is then folded per (system, cores) curve
+    # in the original load order.
+    grid: List[Dict] = []
+    tasks = []
     for system, counts in (("vessel", vessel_cores),
                            ("caladan", caladan_cores)):
         for cores in counts:
-            result = goodput_mops(system, base.scaled(num_workers=cores),
-                                  loads)
-            points.append({"system": system, "cores": cores, **result})
+            scaled = base.scaled(num_workers=cores)
+            capacity = l_capacity_mops(scaled, MEMCACHED_MEAN_SERVICE_NS)
+            rates = [load * capacity for load in loads]
+            grid.append({"system": system, "cores": cores, "rates": rates})
+            tasks.extend(
+                (system, scaled,
+                 dict(l_specs=[("memcached", "memcached", rate)],
+                      b_specs=("linpack",)))
+                for rate in rates)
+    reports = run_colocation_batch(tasks, jobs=base.jobs)
+    points: List[Dict] = []
+    offset = 0
+    for cell in grid:
+        rates = cell.pop("rates")
+        cell_reports = reports[offset:offset + len(rates)]
+        offset += len(rates)
+        points.append({**cell, **goodput_from_reports(rates, cell_reports)})
     gains = {}
     for system in ("vessel", "caladan"):
         series = [p for p in points if p["system"] == system]

@@ -32,6 +32,7 @@ from repro.experiments.common import (
     l_capacity_mops,
     normalized_total,
     run_colocation,
+    run_colocation_batch,
 )
 from repro.workloads.memcached import MEMCACHED_MEAN_SERVICE_NS
 
@@ -65,31 +66,34 @@ def run_colocation_part(cfg: Optional[ExperimentConfig] = None,
     cfg = cfg or ExperimentConfig()
     capacity = l_capacity_mops(cfg, MEMCACHED_MEAN_SERVICE_NS)
     alone = _membench_alone_useful(cfg)
+    points = [(load, system) for load in loads
+              for system in ("vessel", "caladan")]
+    tasks = []
+    for load, system in points:
+        kwargs: Dict = {}
+        if system == "vessel":
+            kwargs["vessel_bw_cap"] = ("membench", cap_gbps)
+        else:
+            kwargs["caladan_bw_cap"] = ("membench", cap_gbps)
+        kwargs.update(
+            l_specs=[("memcached", "memcached", load * capacity)],
+            b_specs=("membench",),
+            bus_sensitivity=BUS_SENSITIVITY)
+        tasks.append((system, cfg, kwargs))
+    reports = run_colocation_batch(tasks, jobs=cfg.jobs)
     rows: List[Dict] = []
-    for load in loads:
-        rate = load * capacity
-        for system in ("vessel", "caladan"):
-            kwargs = {}
-            if system == "vessel":
-                kwargs["vessel_bw_cap"] = ("membench", cap_gbps)
-            else:
-                kwargs["caladan_bw_cap"] = ("membench", cap_gbps)
-            report = run_colocation(
-                system, cfg,
-                l_specs=[("memcached", "memcached", rate)],
-                b_specs=("membench",),
-                bus_sensitivity=BUS_SENSITIVITY, **kwargs)
-            p999 = report.p999_us("memcached")
-            rows.append({
-                "system": system,
-                "load": load,
-                "cap": cap_gbps,
-                "total_normalized": normalized_total(
-                    report, cfg, {"memcached": MEMCACHED_MEAN_SERVICE_NS},
-                    b_alone_useful={"membench": alone}),
-                "p999_us": p999,
-                "meets_slo": p999 <= slo_us,
-            })
+    for (load, system), report in zip(points, reports):
+        p999 = report.p999_us("memcached")
+        rows.append({
+            "system": system,
+            "load": load,
+            "cap": cap_gbps,
+            "total_normalized": normalized_total(
+                report, cfg, {"memcached": MEMCACHED_MEAN_SERVICE_NS},
+                b_alone_useful={"membench": alone}),
+            "p999_us": p999,
+            "meets_slo": p999 <= slo_us,
+        })
     advantage = []
     for load in loads:
         vessel = next(r for r in rows if r["load"] == load

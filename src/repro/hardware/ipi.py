@@ -47,4 +47,4 @@ class IpiController:
         if self.ledger.enabled:
             self.ledger.charge(op, self.costs.ipi_deliver_ns,
                                core=target_core_id, domain=domain)
-        self.sim.after(self.costs.ipi_deliver_ns, handler, vector)
+        self.sim.post(self.costs.ipi_deliver_ns, handler, vector)

@@ -58,12 +58,17 @@ class Core:
     # Accounting
     # ------------------------------------------------------------------
     def _switch_category(self, category: str) -> None:
+        # Fires on every segment start/stop of every core; the bucket
+        # update is inlined (acct.charge's negative check is redundant
+        # here because ``elapsed > 0`` already guards it).
         now = self.sim.now
         elapsed = now - self._since
         if elapsed > 0:
-            self.acct.charge(self._category, elapsed)
+            buckets = self.acct.buckets
+            previous = self._category
+            buckets[previous] = buckets.get(previous, 0) + elapsed
             if self.tracer is not None:
-                self.tracer.record(self.id, self._since, now, self._category)
+                self.tracer.record(self.id, self._since, now, previous)
         self._category = category
         self._since = now
 

@@ -55,8 +55,16 @@ class Upid:
         self.pending |= 1 << vector
 
     def drain(self) -> List[int]:
-        vectors = [v for v in range(VECTOR_COUNT) if self.pending & (1 << v)]
+        # Bit-scan instead of probing all 64 vector positions: almost
+        # every delivery drains exactly one pending vector.  Order is
+        # ascending, same as the probe loop.
+        pending = self.pending
         self.pending = 0
+        vectors = []
+        while pending:
+            low = pending & -pending
+            vectors.append(low.bit_length() - 1)
+            pending ^= low
         return vectors
 
 
@@ -92,6 +100,19 @@ class UintrController:
         #: optional fault-injection hook consulted on every senduipi
         #: (see :data:`UintrInjectHook`); ``None`` means no injection
         self.inject: Optional[UintrInjectHook] = None
+        # Charge handles for the per-interrupt hot path; rebuilt lazily
+        # because Machine.attach_ledger reassigns self.ledger after
+        # construction.
+        self._send_handle = None
+        self._deliver_handle = None
+        self._handles_ledger = None
+
+    def _charge_handles(self):
+        if self._handles_ledger is not self.ledger:
+            self._send_handle = self.ledger.handle("hw", "uintr_send")
+            self._deliver_handle = self.ledger.handle("hw", "uintr_deliver")
+            self._handles_ledger = self.ledger
+        return self._send_handle, self._deliver_handle
 
     # ---------------------------------------------------------------
     # Receiver side
@@ -117,7 +138,7 @@ class UintrController:
             return
         upid.suppressed = False
         if upid.pending:
-            self.sim.after(self.costs.uintr_deliver_ns, self._deliver, upid)
+            self.sim.post(self.costs.uintr_deliver_ns, self._deliver, upid)
 
     def on_user_suspend(self, receiver_id: int) -> None:
         """Receiver left user mode: notifications are suppressed."""
@@ -156,8 +177,8 @@ class UintrController:
         entry.upid.post(entry.vector)
         self.sent += 1
         if self.ledger.enabled:
-            self.ledger.charge("uintr_send", self.costs.uintr_send_ns,
-                               core=sender_id, domain="hw")
+            send, _ = self._charge_handles()
+            send.charge(self.costs.uintr_send_ns, sender_id)
         if entry.upid.suppressed:
             self.deferred += 1
             return
@@ -182,7 +203,7 @@ class UintrController:
                     self.ledger.charge("fault:uintr_delay", extra_ns,
                                        core=entry.upid.receiver_id,
                                        domain="fault")
-        self.sim.after(
+        self.sim.post(
             self.costs.uintr_send_ns + self.costs.uintr_deliver_ns + extra_ns,
             self._deliver,
             entry.upid,
@@ -204,7 +225,6 @@ class UintrController:
         for vector in vectors:
             self.delivered += 1
             if self.ledger.enabled:
-                self.ledger.charge("uintr_deliver",
-                                   self.costs.uintr_deliver_ns,
-                                   core=upid.receiver_id, domain="hw")
+                _, deliver = self._charge_handles()
+                deliver.charge(self.costs.uintr_deliver_ns, upid.receiver_id)
             handler(vector)

@@ -168,7 +168,7 @@ class CfsScheduler:
             if self.ledger.enabled:
                 self.ledger.charge("cfs_wakeup", self.costs.cfs_wakeup_ns,
                                    core=rq.core.id, domain="kernel")
-            self.sim.after(self.costs.cfs_wakeup_ns, self._maybe_start, rq)
+            self.sim.post(self.costs.cfs_wakeup_ns, self._maybe_start, rq)
         else:
             self._check_wakeup_preempt(rq, thread)
 

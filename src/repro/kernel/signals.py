@@ -56,8 +56,8 @@ class KernelSignals:
 
     def post(self, proc: KProcess, signal: Signal) -> None:
         """Queue ``signal`` for delivery after the kernel signal path."""
-        self.sim.after(self.costs.signal_deliver_ns, self._deliver,
-                       proc, signal)
+        self.sim.post(self.costs.signal_deliver_ns, self._deliver,
+                      proc, signal)
 
     def _deliver(self, proc: KProcess, signal: Signal) -> None:
         if not proc.alive:

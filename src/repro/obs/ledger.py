@@ -137,6 +137,8 @@ class OpLedger:
         self.max_events = max_events
         self.capture_events = capture_events
         self._stats: Dict[Tuple[str, str], _OpStat] = {}
+        #: bumped by reset(); lets ChargeHandles notice their stat is stale
+        self._generation = 0
         #: captured (ts_ns, core, domain, op, cost_ns) rows
         self.events: List[Tuple[int, Optional[int], str, str, int]] = []
         self.events_dropped = 0
@@ -152,16 +154,39 @@ class OpLedger:
             stat = self._stats[(domain, op)] = _OpStat()
         stat.record(cost_ns, core)
         if self.capture_events:
-            if len(self.events) < self.max_events:
-                now = self.sim.now if self.sim is not None else 0
-                self.events.append((now, core, domain, op, cost_ns))
-            else:
-                self.events_dropped += 1
+            self._capture(core, domain, op, cost_ns)
 
     def count_op(self, op: str, core: Optional[int] = None,
                  domain: str = "misc") -> None:
         """Count an operation that carries no modeled latency of its own."""
         self.charge(op, 0, core=core, domain=domain)
+
+    def handle(self, domain: str, op: str) -> "ChargeHandle":
+        """A precomputed charging handle for one ``(domain, op)`` pair.
+
+        Hot call sites (the userspace switch, Uintr delivery) charge the
+        same few ops millions of times per run; a handle binds the
+        underlying stat once so the per-charge cost is one method call
+        instead of tuple construction plus a dict lookup.  Handles
+        survive :meth:`reset` — they re-bind lazily via a generation
+        check — and total exactly as :meth:`charge` does (the invariant
+        ``tests/obs`` pins down).
+        """
+        return ChargeHandle(self, domain, op)
+
+    def _stat_for(self, domain: str, op: str) -> _OpStat:
+        stat = self._stats.get((domain, op))
+        if stat is None:
+            stat = self._stats[(domain, op)] = _OpStat()
+        return stat
+
+    def _capture(self, core: Optional[int], domain: str, op: str,
+                 cost_ns: int) -> None:
+        if len(self.events) < self.max_events:
+            now = self.sim.now if self.sim is not None else 0
+            self.events.append((now, core, domain, op, cost_ns))
+        else:
+            self.events_dropped += 1
 
     # ------------------------------------------------------------------
     # Queries
@@ -218,6 +243,7 @@ class OpLedger:
 
     def reset(self) -> None:
         self._stats.clear()
+        self._generation += 1
         self.events.clear()
         self.events_dropped = 0
 
@@ -290,6 +316,47 @@ class OpLedger:
             json.dump(self.chrome_trace(tracer), handle)
 
 
+class ChargeHandle:
+    """Fast-path recorder bound to one ``(domain, op)`` stat.
+
+    Created by :meth:`OpLedger.handle`.  :meth:`charge` skips the
+    per-call key-tuple construction and dict lookup of
+    :meth:`OpLedger.charge`; a generation check keeps the binding
+    correct across :meth:`OpLedger.reset` (which experiments call at
+    the start of every measurement window).
+    """
+
+    __slots__ = ("ledger", "domain", "op", "_stat", "_generation")
+
+    def __init__(self, ledger: OpLedger, domain: str, op: str) -> None:
+        self.ledger = ledger
+        self.domain = domain
+        self.op = op
+        # Bound on first charge, not eagerly: an op that never fires must
+        # not appear as a zero-count row in breakdowns.
+        self._stat: Optional[_OpStat] = None
+        self._generation = ledger._generation
+
+    def charge(self, cost_ns: int, core: Optional[int] = None) -> None:
+        ledger = self.ledger
+        stat = self._stat
+        if stat is None or self._generation != ledger._generation:
+            self._stat = stat = ledger._stat_for(self.domain, self.op)
+            self._generation = ledger._generation
+        stat.record(cost_ns, core)
+        if ledger.capture_events:
+            ledger._capture(core, self.domain, self.op, cost_ns)
+
+
+class _NullChargeHandle:
+    """Handle counterpart of :class:`NullLedger`: records nothing."""
+
+    __slots__ = ()
+
+    def charge(self, cost_ns: int, core: Optional[int] = None) -> None:
+        pass
+
+
 class NullLedger(OpLedger):
     """A ledger that records nothing; the zero-overhead default."""
 
@@ -306,6 +373,11 @@ class NullLedger(OpLedger):
                  domain: str = "misc") -> None:
         pass
 
+    def handle(self, domain: str, op: str) -> "_NullChargeHandle":
+        return _NULL_HANDLE
+
+
+_NULL_HANDLE = _NullChargeHandle()
 
 #: shared no-op instance every component defaults to
 NULL_LEDGER = NullLedger()

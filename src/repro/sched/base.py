@@ -52,6 +52,9 @@ class SystemReport:
     #: per-app client reliability counters (offered/completed/retries/
     #: timeouts/losses/...), only when a fabric was attached
     net_ops: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: discrete events the run's Simulator fired (the bench harness
+    #: divides by wall time for an events/sec figure)
+    events_fired: int = 0
 
     # ------------------------------------------------------------------
     def throughput_mops(self, app_name: str) -> float:

@@ -1,20 +1,44 @@
 """The discrete-event engine.
 
-A :class:`Simulator` owns an integer nanosecond clock and a binary heap of
-:class:`Event` handles.  Events are cancellable: schedulers in this codebase
-constantly schedule "completion" events for running work and cancel them when
-the work is preempted, so cancellation must be O(1) (we mark the handle dead
-and skip it when popped, the standard lazy-deletion approach).
+A :class:`Simulator` owns an integer nanosecond clock and a binary heap
+of scheduled callbacks.  Events are cancellable: schedulers in this
+codebase constantly schedule "completion" events for running work and
+cancel them when the work is preempted, so cancellation must be O(1)
+(we mark the handle dead and skip it when popped, the standard
+lazy-deletion approach).  When cancelled-but-unpopped entries outnumber
+live ones the heap is compacted in place, so a simulator reused across
+many ``run(until=...)`` windows cannot accumulate dead entries without
+bound (they previously could, parked past ``until`` forever).
 
-Determinism: two events scheduled for the same timestamp fire in the order
-they were scheduled (a monotone sequence number breaks ties), so a simulation
-with a fixed RNG seed replays identically.
+Determinism: two events scheduled for the same timestamp fire in the
+order they were scheduled (a monotone sequence number breaks ties), so
+a simulation with a fixed RNG seed replays identically.
+
+Performance: this module is the hottest code in the repository — every
+modeled request, switch, and timer passes through here, and experiment
+sweeps retire hundreds of millions of events.  Three choices keep the
+inner loop fast, measured by ``python -m repro bench``:
+
+* heap entries are ``(time, seq, event)`` tuples, not :class:`Event`
+  objects — the heap's comparisons stay in C tuple code (``seq`` is
+  unique, so the event object itself is never compared);
+* :meth:`Simulator.run` inlines peek/pop/fire with locals bound outside
+  the loop instead of calling :meth:`step` per event;
+* :meth:`Simulator.post` is a fire-and-forget fast path that skips
+  :class:`Event` allocation entirely for the majority of schedules that
+  are never cancelled (its heap entry is ``(time, seq, None, fn,
+  args)``; mixed-width entries still compare correctly because ``(time,
+  seq)`` always decides).
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, List, Optional
+
+#: compact the heap when dead entries exceed this count *and* the live
+#: count (amortized O(1) per cancel; bounds heap size at 2x live + 64)
+_COMPACT_THRESHOLD = 64
 
 
 class SimulationError(RuntimeError):
@@ -47,9 +71,15 @@ class Event:
 
     def cancel(self) -> None:
         """Cancel the event; cancelling a dead event is a no-op."""
-        if self._alive and self._owner is not None:
-            self._owner._live -= 1
+        if not self._alive:
+            return
         self._alive = False
+        owner = self._owner
+        if owner is not None:
+            owner._live -= 1
+            owner._dead += 1
+            if owner._dead > _COMPACT_THRESHOLD and owner._dead > owner._live:
+                owner._compact()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -72,9 +102,11 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: List[Event] = []
+        #: heap of (time, seq, Event) / (time, seq, None, fn, args) entries
+        self._heap: List[tuple] = []
         self._seq: int = 0
         self._live: int = 0
+        self._dead: int = 0
         self._running = False
         self._stopped = False
         self.events_fired: int = 0
@@ -88,9 +120,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at t={time} before now={self.now}"
             )
-        self._seq += 1
-        event = Event(int(time), self._seq, fn, args, owner=self)
-        heapq.heappush(self._heap, event)
+        self._seq = seq = self._seq + 1
+        time = int(time)
+        event = Event(time, seq, fn, args, owner=self)
+        heapq.heappush(self._heap, (time, seq, event))
         self._live += 1
         return event
 
@@ -98,11 +131,32 @@ class Simulator:
         """Schedule ``fn(*args)`` ``delay`` nanoseconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.at(self.now + int(delay), fn, *args)
+        self._seq = seq = self._seq + 1
+        time = self.now + int(delay)
+        event = Event(time, seq, fn, args, owner=self)
+        heapq.heappush(self._heap, (time, seq, event))
+        self._live += 1
+        return event
 
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at the current time (after pending events)."""
-        return self.at(self.now, fn, *args)
+        return self.after(0, fn, *args)
+
+    def post(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`after`: no :class:`Event` handle.
+
+        The fast path for the most common scheduling pattern — arrival
+        ticks, interrupt deliveries, dispatch reactions — where the
+        caller never cancels.  Ordering is identical to :meth:`after`
+        (same clock, same tie-breaking sequence), only the cancellable
+        handle (and its allocation) is gone.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._heap,
+                       (self.now + int(delay), seq, None, fn, args))
+        self._live += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -112,19 +166,24 @@ class Simulator:
         self._drop_dead()
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def step(self) -> bool:
         """Fire the next live event.  Returns False if none remain."""
         self._drop_dead()
         if not self._heap:
             return False
-        event = heapq.heappop(self._heap)
-        self.now = event.time
-        event._alive = False
+        entry = heapq.heappop(self._heap)
+        self.now = entry[0]
+        event = entry[2]
+        if event is None:
+            fn, args = entry[3], entry[4]
+        else:
+            event._alive = False
+            fn, args = event.fn, event.args
         self._live -= 1
         self.events_fired += 1
-        event.fn(*event.args)
+        fn(*args)
         return True
 
     def run(self, until: Optional[int] = None) -> None:
@@ -138,14 +197,35 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         self._stopped = False
+        # The loop binds everything it can outside and dispatches on the
+        # entry directly; self._heap is only ever mutated in place (see
+        # _compact), so the local binding stays valid across callbacks.
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while not self._stopped:
-                next_time = self.peek()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                self.step()
+            while heap and not self._stopped:
+                entry = heap[0]
+                event = entry[2]
+                if event is None:                  # post() fast path
+                    if until is not None and entry[0] > until:
+                        break
+                    pop(heap)
+                    self.now = entry[0]
+                    self._live -= 1
+                    self.events_fired += 1
+                    entry[3](*entry[4])
+                elif event._alive:
+                    if until is not None and entry[0] > until:
+                        break
+                    pop(heap)
+                    self.now = entry[0]
+                    event._alive = False
+                    self._live -= 1
+                    self.events_fired += 1
+                    event.fn(*event.args)
+                else:                              # lazily-deleted entry
+                    pop(heap)
+                    self._dead -= 1
         finally:
             self._running = False
         if until is not None and self.now < until and not self._stopped:
@@ -166,5 +246,23 @@ class Simulator:
     # ------------------------------------------------------------------
     def _drop_dead(self) -> None:
         heap = self._heap
-        while heap and not heap[0]._alive:
+        while heap:
+            event = heap[0][2]
+            if event is None or event._alive:
+                return
             heapq.heappop(heap)
+            self._dead -= 1
+
+    def _compact(self) -> None:
+        """Rebuild the heap without dead entries, in place.
+
+        In-place (slice assignment, not rebinding) because :meth:`run`
+        holds a local reference to the list across callbacks — a cancel
+        storm inside an event handler must not strand the running loop
+        on a stale heap.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap
+                   if entry[2] is None or entry[2]._alive]
+        heapq.heapify(heap)
+        self._dead = 0

@@ -177,6 +177,11 @@ class Smas:
     # ------------------------------------------------------------------
     # PKRU values
     # ------------------------------------------------------------------
+    #: memoized app-mode PKRU *values* per pkey (the bitmap build walks
+    #: all 16 keys and this runs once per context switch); instances are
+    #: still constructed fresh because PkruRegister is mutable
+    _APP_PKRU_VALUES: Dict[int, int] = {}
+
     @staticmethod
     def runtime_pkru() -> PkruRegister:
         """Privileged mode: every key accessible."""
@@ -185,7 +190,11 @@ class Smas:
     @staticmethod
     def app_pkru(pkey: int) -> PkruRegister:
         """uProcess mode: own slot RW, message pipe RO, all else denied."""
-        return PkruRegister.build({pkey: True, PIPE_PKEY: False})
+        value = Smas._APP_PKRU_VALUES.get(pkey)
+        if value is None:
+            value = PkruRegister.build({pkey: True, PIPE_PKEY: False}).value
+            Smas._APP_PKRU_VALUES[pkey] = value
+        return PkruRegister(value)
 
     # ------------------------------------------------------------------
     # Slot management

@@ -38,6 +38,13 @@ class UserspaceSwitch:
         self.ledger = ledger or NULL_LEDGER
         self.park_switches = 0
         self.preempt_switches = 0
+        # One runtime-mode PKRU reused for pipe writes (never mutated;
+        # allocating a fresh one per switch showed up in profiles).
+        self._runtime_pkru = Smas.runtime_pkru()
+        #: precomputed (domain, op) charge handles; rebuilt if the
+        #: ledger is swapped (see _switch_handles)
+        self._handles = None
+        self._handles_ledger = None
 
     # ------------------------------------------------------------------
     def install(self, core: Core, thread: UThread) -> None:
@@ -49,7 +56,7 @@ class UserspaceSwitch:
                 f"{thread.core_id}"
             )
         pipe = self.smas.pipe
-        pipe.set_task(Smas.runtime_pkru(), core.id, thread)
+        pipe.set_task(self._runtime_pkru, core.id, thread)
         core.pkru.wrpkru(thread.uproc.pkru().value)
         core.mode = CoreMode.USER
         thread.state = UThreadState.RUNNING
@@ -82,7 +89,7 @@ class UserspaceSwitch:
 
         # Privileged-mode effects (we are conceptually inside the gate).
         core.mode = CoreMode.RUNTIME
-        pipe.set_task(Smas.runtime_pkru(), core.id, to_thread)
+        pipe.set_task(self._runtime_pkru, core.id, to_thread)
         to_thread.state = UThreadState.RUNNING
         to_thread.core_id = core.id
 
@@ -104,6 +111,24 @@ class UserspaceSwitch:
             self._charge_switch_ops(core.id, preempt, noise, jitter)
         return cost + noise + jitter
 
+    _SWITCH_OPS = ("uctx_save", "callgate_enter", "runtime_queue",
+                   "uctx_restore", "callgate_exit", "uiret",
+                   "switch_noise", "switch_jitter")
+
+    def _switch_handles(self) -> dict:
+        """Per-op :class:`~repro.obs.ledger.ChargeHandle` map.
+
+        The switch path charges the same eight ops for every one of the
+        millions of switches a sweep executes; precomputed handles skip
+        the ledger's per-charge key lookup (the ``OpLedger.charge``
+        fast path the bench harness measures).
+        """
+        if self._handles is None or self._handles_ledger is not self.ledger:
+            self._handles = {op: self.ledger.handle("uproc", op)
+                             for op in self._SWITCH_OPS}
+            self._handles_ledger = self.ledger
+        return self._handles
+
     def _charge_switch_ops(self, core_id: int, preempt: bool,
                            noise: int, jitter: int) -> None:
         """Itemize one switch into the ledger (Table 1's breakdown).
@@ -117,20 +142,16 @@ class UserspaceSwitch:
         count one preemption.
         """
         c = self.costs
-        charge = self.ledger.charge
-        charge("uctx_save", c.uctx_save_ns, core=core_id, domain="uproc")
-        charge("callgate_enter", c.callgate_enter_ns, core=core_id,
-               domain="uproc")
-        charge("runtime_queue", c.runtime_queue_ns, core=core_id,
-               domain="uproc")
-        charge("uctx_restore", c.uctx_restore_ns, core=core_id,
-               domain="uproc")
-        charge("callgate_exit", c.callgate_exit_ns, core=core_id,
-               domain="uproc")
+        handles = self._switch_handles()
+        handles["uctx_save"].charge(c.uctx_save_ns, core_id)
+        handles["callgate_enter"].charge(c.callgate_enter_ns, core_id)
+        handles["runtime_queue"].charge(c.runtime_queue_ns, core_id)
+        handles["uctx_restore"].charge(c.uctx_restore_ns, core_id)
+        handles["callgate_exit"].charge(c.callgate_exit_ns, core_id)
         if preempt:
-            charge("uiret", c.uiret_ns, core=core_id, domain="uproc")
-        charge("switch_noise", noise, core=core_id, domain="uproc")
-        charge("switch_jitter", jitter, core=core_id, domain="uproc")
+            handles["uiret"].charge(c.uiret_ns, core_id)
+        handles["switch_noise"].charge(noise, core_id)
+        handles["switch_jitter"].charge(jitter, core_id)
 
     def park_current(self, core: Core) -> None:
         """Mark the core's current thread parked (it called park())."""

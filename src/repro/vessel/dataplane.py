@@ -92,7 +92,7 @@ class NicRxQueue:
             return False
         self.in_flight += 1
         self._pending_since.append(self.sim.now)
-        self.sim.after(self.latency_ns, self._arrive, request)
+        self.sim.post(self.latency_ns, self._arrive, request)
         return True
 
     def _arrive(self, request: Request) -> None:
@@ -168,8 +168,8 @@ class StorageDevice:
 
     def _issue(self, owner: object, on_complete: Callable[[], None]) -> None:
         self.inflight += 1
-        self.sim.after(max(1, int(self.latency_sampler())),
-                       self._complete, owner, on_complete)
+        self.sim.post(max(1, int(self.latency_sampler())),
+                      self._complete, owner, on_complete)
 
     def _complete(self, owner: object,
                   on_complete: Callable[[], None]) -> None:

@@ -54,8 +54,8 @@ class VesselBandwidthRegulator:
         if self._suspended:
             self.system.resume_batch_app(self.app_name)
             self._suspended = False
-        self.sim.after(self.check_ns, self._check)
-        self.sim.after(self.window_ns, self._begin_window)
+        self.sim.post(self.check_ns, self._check)
+        self.sim.post(self.window_ns, self._begin_window)
 
     def _check(self) -> None:
         if self._suspended:
@@ -71,4 +71,4 @@ class VesselBandwidthRegulator:
             self._suspended = True
             self.suspensions += 1
             return
-        self.sim.after(self.check_ns, self._check)
+        self.sim.post(self.check_ns, self._check)

@@ -226,7 +226,7 @@ class VesselSystem(ColocationSystem):
         self._last_scan_ns = self.sim.now
         self._scan_event = self.sim.after(self.effective_scan_ns, self._scan)
         if self.containment:
-            self.sim.after(self.heartbeat_interval_ns, self._heartbeat)
+            self.sim.post(self.heartbeat_interval_ns, self._heartbeat)
 
     # ------------------------------------------------------------------
     # Arrival path
@@ -247,7 +247,7 @@ class VesselSystem(ColocationSystem):
         react = int(max(self.costs.sched_react_ns,
                         self.effective_scan_ns // 2)
                     * self.control_plane_factor)
-        self.sim.after(react, self._dispatch_app, state)
+        self.sim.post(react, self._dispatch_app, state)
 
     def _dispatch_app(self, state: _AppState) -> None:
         """Ensure enough server threads are active for this app's queue."""
@@ -372,7 +372,7 @@ class VesselSystem(ColocationSystem):
             self._sched_stalled = False
             self._last_scan_ns = now
             self._scan_event = self.sim.call_soon(self._scan)
-        self.sim.after(self.heartbeat_interval_ns, self._heartbeat)
+        self.sim.post(self.heartbeat_interval_ns, self._heartbeat)
 
     def _maybe_preempt_long_request(self, state: _CoreState) -> None:
         """§4.4 preemption: a long request is hogging a core other
@@ -675,7 +675,7 @@ class VesselSystem(ColocationSystem):
             # through the runtime's dataplane while this core serves
             # other threads; the completion re-queues the CPU tail.
             request.io_done = True
-            self.sim.after(request.io_wait_ns, self._io_complete, request)
+            self.sim.post(request.io_wait_ns, self._io_complete, request)
             self._serve_next(state)
             return
         request.app.complete(request, self.sim.now)

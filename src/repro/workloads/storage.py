@@ -63,4 +63,4 @@ class StorageRequestSource(OpenLoopSource):
         self.generated += 1
         self.submit(request)
         gap = max(1, int(self.rng.expovariate(1.0 / self.mean_gap_ns)))
-        self.sim.after(gap, self._tick)
+        self.sim.post(gap, self._tick)

@@ -189,3 +189,55 @@ def test_chrome_trace_round_trips_through_json(tmp_path):
     assert op[0]["name"] == "op"
     assert op[0]["ts"] == pytest.approx(1.5)
     assert op[0]["args"]["cost_ns"] == 40
+
+
+# ----------------------------------------------------------------------
+# Charge handles (the precomputed fast path hot call sites use)
+# ----------------------------------------------------------------------
+def test_handle_charges_match_plain_charges():
+    plain = OpLedger()
+    fast = OpLedger()
+    handle = fast.handle("uproc", "uctx_save")
+    for cost, core in ((10, 1), (30, 2), (5, 1)):
+        plain.charge("uctx_save", cost, core=core, domain="uproc")
+        handle.charge(cost, core)
+    assert fast.op_count("uctx_save") == plain.op_count("uctx_save")
+    assert fast.total_ns(domain="uproc") == plain.total_ns(domain="uproc")
+    assert fast.core_ns(1) == plain.core_ns(1)
+    assert fast.core_ns(2) == plain.core_ns(2)
+    assert fast.breakdown_table() == plain.breakdown_table()
+
+
+def test_handle_never_creates_zero_count_rows():
+    ledger = OpLedger()
+    ledger.handle("uproc", "uiret")  # built but never charged
+    assert list(ledger.rows()) == []
+
+
+def test_handle_survives_reset():
+    """begin_measurement() resets the ledger mid-run; handles created
+    before the reset must charge into the post-reset window."""
+    ledger = OpLedger()
+    handle = ledger.handle("uproc", "uctx_save")
+    handle.charge(100, 0)
+    ledger.reset()
+    handle.charge(7, 3)
+    assert ledger.op_count("uctx_save") == 1
+    assert ledger.total_ns(domain="uproc") == 7
+    assert ledger.core_ns(3) == 7
+
+
+def test_handle_capture_events():
+    ledger = OpLedger(capture_events=True)
+    handle = ledger.handle("hw", "uintr_send")
+    handle.charge(40, 2)
+    assert len(ledger.events) == 1
+    _ts, core, domain, op, cost_ns = ledger.events[0]
+    assert (domain, op, cost_ns, core) == ("hw", "uintr_send", 40, 2)
+
+
+def test_null_ledger_handle_is_a_noop():
+    handle = NULL_LEDGER.handle("uproc", "anything")
+    handle.charge(100, 0)
+    handle.charge(100)
+    assert NULL_LEDGER.op_count("anything") == 0

@@ -178,3 +178,119 @@ def test_many_events_heap_integrity(sim):
         sim.at(t, lambda t=t: seen.append(t))
     sim.run()
     assert seen == sorted(times)
+
+
+# ----------------------------------------------------------------------
+# post(): the fire-and-forget fast path
+# ----------------------------------------------------------------------
+def test_post_fires_at_right_time(sim):
+    seen = []
+    sim.post(100, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [100]
+
+
+def test_post_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.post(-1, lambda: None)
+
+
+def test_post_args_passed(sim):
+    seen = []
+    sim.post(1, lambda a, b: seen.append((a, b)), 3, "y")
+    sim.run()
+    assert seen == [(3, "y")]
+
+
+def test_post_and_after_share_one_ordering(sim):
+    """Same-timestamp post() and after() events fire in schedule order."""
+    seen = []
+    sim.after(50, lambda: seen.append("a1"))
+    sim.post(50, lambda: seen.append("p1"))
+    sim.after(50, lambda: seen.append("a2"))
+    sim.post(50, lambda: seen.append("p2"))
+    sim.run()
+    assert seen == ["a1", "p1", "a2", "p2"]
+
+
+def test_post_counts_in_pending_and_events_fired(sim):
+    sim.post(5, lambda: None)
+    sim.after(6, lambda: None)
+    assert sim.pending() == 2
+    sim.run()
+    assert sim.pending() == 0
+    assert sim.events_fired == 2
+
+
+def test_post_respects_run_until(sim):
+    seen = []
+    sim.post(2000, lambda: seen.append("late"))
+    sim.run(until=1000)
+    assert seen == []
+    assert sim.pending() == 1
+    sim.run()
+    assert seen == ["late"]
+
+
+def test_step_fires_post_entries(sim):
+    seen = []
+    sim.post(5, lambda: seen.append("p"))
+    assert sim.step() is True
+    assert seen == ["p"]
+
+
+# ----------------------------------------------------------------------
+# Dead-entry compaction (regression: a simulator reused across
+# run(until=...) windows used to accumulate cancelled events scheduled
+# past `until` in the heap without bound)
+# ----------------------------------------------------------------------
+def test_cancelled_events_past_until_do_not_accumulate(sim):
+    window = 1_000
+    for i in range(200):
+        start = i * window
+        # A completion event far past this window, always cancelled --
+        # the scheduler-churn pattern that used to leak heap entries.
+        event = sim.at(start + 10 * window, lambda: None)
+        sim.at(start + 1, lambda: None)
+        sim.run(until=(i + 1) * window)
+        event.cancel()
+    assert sim.pending() == 0
+    # The heap may keep a bounded number of dead entries (lazy deletion)
+    # but must not hold all 200.
+    assert len(sim._heap) <= 130
+
+
+def test_compaction_preserves_order_and_liveness(sim):
+    import random
+    rng = random.Random(11)
+    seen = []
+    events = []
+    for _ in range(3000):
+        t = rng.randrange(1, 1_000_000)
+        events.append(sim.at(t, lambda t=t: seen.append(t)))
+    kept = []
+    for i, event in enumerate(events):
+        if i % 3 == 0:
+            event.cancel()  # triggers compaction along the way
+        else:
+            kept.append(event.time)
+    sim.run()
+    assert seen == sorted(kept)
+
+
+def test_cancel_storm_inside_handler_keeps_running_loop_valid(sim):
+    """_compact() must mutate the heap in place: run() holds a local
+    reference across callbacks."""
+    seen = []
+    victims = [sim.at(10_000 + i, lambda: seen.append("victim"))
+               for i in range(300)]
+
+    def massacre():
+        for event in victims:
+            event.cancel()
+        seen.append("massacre")
+
+    sim.after(1, massacre)
+    sim.after(20_000, lambda: seen.append("survivor"))
+    sim.run()
+    assert seen == ["massacre", "survivor"]
