@@ -48,6 +48,7 @@ EXPERIMENTS = {
     "net": "repro.experiments.net_smoke",
     "ablations": "repro.experiments.ablations",
     "sensitivity": "repro.experiments.sensitivity",
+    "policies": "repro.experiments.policy_zoo",
 }
 
 
@@ -133,12 +134,22 @@ def main(argv=None) -> int:
                         help="deliver load through the simulated "
                              "client/link/NIC fabric and report "
                              "client-observed latency (repro.net)")
+    parser.add_argument("--policy", metavar="NAME", default=None,
+                        help="run VESSEL under a registered scheduling "
+                             "policy (default, mlfq, sjf, trust-group, "
+                             "priority); baselines are unaffected")
 
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "bench":
         from repro.perf.bench import main as bench_main
         return bench_main(argv[1:])
+    if argv and argv[0] == "policies":
+        # Leading "policies" gets its own flag set (--smoke etc.), like
+        # bench; it still runs as a normal experiment when selected
+        # among others or via the run-everything default.
+        from repro.experiments.policy_zoo import cli_main
+        return cli_main(argv[1:])
     args = parser.parse_args(argv)
 
     if args.list:
@@ -158,7 +169,8 @@ def main(argv=None) -> int:
     from repro.net import NetConfig
     cfg = ExperimentConfig(seed=args.seed, op_breakdown=args.op_breakdown,
                            trace_out=args.trace_out,
-                           net=NetConfig() if args.net else None)
+                           net=NetConfig() if args.net else None,
+                           policy=args.policy)
     if args.scale == "paper":
         cfg = cfg.scaled(**PAPER_PROFILE)
 

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.hardware.machine import Core, Machine
+from repro.sched import queues
 from repro.sched.base import ColocationSystem
 from repro.workloads.base import App, Request
 
@@ -99,12 +100,14 @@ class ArachneSystem(ColocationSystem):
             for state in owned[target:]:
                 self._release(state)
             deficit = target - len(owned)
-            for state in list(self._cores.values()):
-                if deficit <= 0:
+            while deficit > 0:
+                state = queues.first_where(
+                    self._cores.values(),
+                    lambda s: s.owner is None or s.kind == "B")
+                if state is None:
                     break
-                if state.owner is None or state.kind == "B":
-                    self._acquire(state, app)
-                    deficit -= 1
+                self._acquire(state, app)
+                deficit -= 1
         # Whatever is left goes to batch apps.
         for state in self._cores.values():
             if state.owner is None and not state.core.busy:
@@ -156,12 +159,13 @@ class ArachneSystem(ColocationSystem):
     # ------------------------------------------------------------------
     def on_arrival(self, app: App, request: Request) -> None:
         # Wake an idle-held core of this app through the kernel.
-        for state in self._cores.values():
-            if state.owner is app and state.kind == "idle-held":
-                state.kind = "transition"
-                state.core.run("kernel", self.costs.arachne_wake_ns,
-                               lambda s=state: self._serve(s))
-                return
+        state = queues.first_where(
+            self._cores.values(),
+            lambda s: s.owner is app and s.kind == "idle-held")
+        if state is not None:
+            state.kind = "transition"
+            state.core.run("kernel", self.costs.arachne_wake_ns,
+                           lambda s=state: self._serve(s))
 
     def _serve(self, state: _CoreState) -> None:
         app = state.owner

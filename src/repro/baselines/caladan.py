@@ -27,6 +27,7 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.hardware.machine import Core, Machine
 from repro.kernel.kschedule import KernelReallocPipeline
+from repro.sched import queues
 from repro.sched.base import ColocationSystem
 from repro.workloads.base import App, Request
 
@@ -114,11 +115,13 @@ class CaladanSystem(ColocationSystem):
     # ------------------------------------------------------------------
     def on_arrival(self, app: App, request: Request) -> None:
         # A core spinning inside this app picks the request up directly.
-        for state in self._cores.values():
-            if state.owner is app and state.kind == "spin":
-                state.core.preempt()  # end the spin early
-                self._serve(state)
-                return
+        spinner = queues.first_where(
+            self._cores.values(),
+            lambda s: s.owner is app and s.kind == "spin")
+        if spinner is not None:
+            spinner.core.preempt()  # end the spin early
+            self._serve(spinner)
+            return
         if self.fast_react and app.name not in self._react_pending:
             # Check once the queueing delay can have crossed the range's
             # upper bound (the Delay Range trigger condition).
@@ -211,16 +214,13 @@ class CaladanSystem(ColocationSystem):
         return active < min(len(app.queue), len(self.worker_cores))
 
     def _find_idle_core(self) -> Optional[_CoreState]:
-        for state in self._cores.values():
-            if state.kind is None and not state.core.busy:
-                return state
-        return None
+        return queues.first_idle(self._cores.values())
 
     def _find_preemption_victim(self, requester: App) -> Optional[_CoreState]:
         # Best-effort cores first.
-        for state in self._cores.values():
-            if state.kind == "B":
-                return state
+        victim = queues.first_of_kind(self._cores.values(), "B")
+        if victim is not None:
+            return victim
         # Then a latency core whose app is clearly less congested.
         req_delay = requester.oldest_wait_ns(self.sim.now)
         best = None

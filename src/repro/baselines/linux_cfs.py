@@ -19,6 +19,7 @@ from repro.sim.rng import RngStreams
 from repro.hardware.machine import Core, Machine
 from repro.kernel.cfs import CfsScheduler, CfsTask, Chunk
 from repro.kernel.kprocess import KProcess, KThread, ThreadState
+from repro.sched import queues
 from repro.sched.base import ColocationSystem
 from repro.workloads.base import App, Request
 
@@ -115,11 +116,9 @@ class LinuxCfsSystem(ColocationSystem):
     def on_arrival(self, app: App, request: Request) -> None:
         """The softirq path wakes one sleeping server thread."""
         threads = self._workers[app.name]
-        start = self._wake_rr[app.name]
-        for offset in range(len(threads)):
-            thread = threads[(start + offset) % len(threads)]
-            if thread.state is ThreadState.SLEEPING:
-                self._wake_rr[app.name] = (start + offset + 1) % len(threads)
-                self.cfs.wake(thread)
-                return
-        # All workers already runnable; the queue drains as they run.
+        index = queues.rr_scan(threads, self._wake_rr[app.name],
+                               lambda t: t.state is ThreadState.SLEEPING)
+        if index is not None:
+            self._wake_rr[app.name] = (index + 1) % len(threads)
+            self.cfs.wake(threads[index])
+        # else: all workers already runnable; the queue drains as they run.

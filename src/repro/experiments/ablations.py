@@ -14,7 +14,10 @@ nanosecond flows through one :class:`CostModel`, we can cross both axes:
   switches (mechanism alone, conservative policy kept).
 
 Also quantifies the §4.2 call-gate defense cost (stack switch + PKRU
-recheck) on the park-switch path.
+recheck) on the park-switch path, and sweeps the scheduler's two
+quantum knobs (BE rotation quantum, §4.4 long-request preemption
+threshold) now that they are policy parameters rather than module
+constants — ``vessel-q5us`` / ``vessel-q80us`` bracket the stock 20 µs.
 """
 
 from __future__ import annotations
@@ -76,6 +79,9 @@ VARIANTS = {
     "caladan-fast-switch": ("caladan", _fast_caladan_costs),
 }
 
+#: rotation/long-request quantum sweep (µs); the stock value is 20
+QUANTUM_SWEEP_US = (5, 20, 80)
+
 
 def run(cfg: Optional[ExperimentConfig] = None,
         load: float = DEFAULT_LOAD) -> Dict:
@@ -92,6 +98,27 @@ def run(cfg: Optional[ExperimentConfig] = None,
             "app_fraction": report.app_fraction(),
             "waste_fraction": report.waste_fraction(),
             "p999_us": report.p999_us("memcached"),
+        })
+    # Quantum sweep: rotation only fires when run queues form, so this
+    # uses the dense shape (4 L-apps on 2 cores, no B-app).  Short
+    # quanta buy fairness with switch overhead; 20 µs is the stock
+    # default, 5/80 bracket it.
+    for quantum_us in QUANTUM_SWEEP_US:
+        quantum_ns = quantum_us * 1_000
+        variant_cfg = cfg.scaled(num_workers=2, policy="default",
+                                 policy_params={
+                                     "rotation_quantum_ns": quantum_ns,
+                                     "l_preempt_quantum_ns": quantum_ns,
+                                 })
+        report = run_colocation(
+            "vessel", variant_cfg,
+            l_specs=[("memcached", f"mc{i}", 0.7) for i in range(4)],
+            b_specs=())
+        rows.append({
+            "variant": f"vessel-q{quantum_us}us",
+            "app_fraction": report.app_fraction(),
+            "waste_fraction": report.waste_fraction(),
+            "p999_us": report.p999_us("mc0"),
         })
     gate = gate_defense_costs(cfg.costs)
     return {"rows": rows, "gate_defense": gate, "load": load}
@@ -118,7 +145,9 @@ def main(cfg: Optional[ExperimentConfig] = None) -> Dict:
     rows = [[r["variant"], round(r["app_fraction"], 3),
              round(r["waste_fraction"], 3), round(r["p999_us"], 1)]
             for r in results["rows"]]
-    print(f"Ablations (memcached+linpack at {results['load']:.0%} load)")
+    print(f"Ablations (memcached+linpack at {results['load']:.0%} load; "
+          f"vessel-qNus rows sweep the rotation/long-request quanta over "
+          f"the dense 4-apps-on-2-cores shape)")
     print(format_table(["variant", "app fraction", "waste", "P999 us"],
                        rows))
     gate = results["gate_defense"]

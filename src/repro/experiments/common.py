@@ -66,6 +66,12 @@ class ExperimentConfig:
     #: and captured stdout merge in task order, so any value produces
     #: byte-identical output to jobs=1 under the same seed
     jobs: int = 1
+    #: scheduling policy for VESSEL runs (see ``repro.sched.policy``);
+    #: None = the stock policy.  Baselines ignore it — their policies
+    #: ARE the comparison.
+    policy: Optional[str] = None
+    #: constructor kwargs for the policy (e.g. MLFQ levels, priorities)
+    policy_params: Dict = field(default_factory=dict)
 
     @property
     def observability(self) -> bool:
@@ -154,6 +160,9 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
 
     factory = system_factory(system_name)
     kwargs = {}
+    if system_name == "vessel" and cfg.policy is not None:
+        from repro.sched.policy import make_policy
+        kwargs["policy"] = make_policy(cfg.policy, **cfg.policy_params)
     if system_name in ("caladan", "caladan-dr-l", "caladan-dr-h") \
             and caladan_bw_cap is not None:
         if system_name == "caladan":
@@ -335,11 +344,15 @@ def parse_profile(argv: Optional[List[str]] = None) -> ExperimentConfig:
     parser.add_argument("--jobs", "-j", type=int, default=1,
                         help="worker processes for sweep fan-out "
                              "(byte-identical output to --jobs 1)")
+    parser.add_argument("--policy", default=None, metavar="NAME",
+                        help="scheduling policy for VESSEL runs "
+                             "(default/mlfq/sjf/trust-group/priority; "
+                             "see 'python -m repro policies')")
     args = parser.parse_args(argv)
     cfg = ExperimentConfig(seed=args.seed, op_breakdown=args.op_breakdown,
                            trace_out=args.trace_out,
                            net=NetConfig() if args.net else None,
-                           jobs=max(1, args.jobs))
+                           jobs=max(1, args.jobs), policy=args.policy)
     if args.scale == "paper":
         cfg = cfg.scaled(**PAPER_PROFILE)
     return cfg

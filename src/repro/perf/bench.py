@@ -113,6 +113,24 @@ def _kernel_colo_vessel(seed: int) -> Tuple[int, str]:
     return _colocation("vessel", seed)
 
 
+def _kernel_policy_dispatch(seed: int) -> Tuple[int, str]:
+    """colo-vessel routed through a non-default policy (mlfq).
+
+    Prices the mechanism/policy dispatch layer: same workload as
+    colo-vessel, but every quantum/placement decision goes through a
+    policy subclass with its own run-queue type, so the delta against
+    colo-vessel is the cost of the pluggable-policy indirection.
+    """
+    from repro.experiments.common import ExperimentConfig, run_colocation
+
+    cfg = ExperimentConfig(seed=seed, policy="mlfq")
+    report = run_colocation(
+        "vessel", cfg,
+        l_specs=[("memcached", "memcached", 2.0)],
+        b_specs=("linpack",))
+    return report.events_fired, "events"
+
+
 def _kernel_colo_caladan(seed: int) -> Tuple[int, str]:
     """One smoke-scale Caladan colocation run (heaviest baseline)."""
     return _colocation("caladan", seed)
@@ -127,12 +145,14 @@ KERNELS: Dict[str, Callable[[int], Tuple[int, str]]] = {
     "engine-churn": _kernel_engine_churn,
     "switch-pingpong": _kernel_switch_pingpong,
     "colo-vessel": _kernel_colo_vessel,
+    "policy-dispatch": _kernel_policy_dispatch,
     "colo-caladan": _kernel_colo_caladan,
     "colo-net": _kernel_colo_net,
 }
 
 #: the cheap subset the CI bench job runs (fails on >25 % regression)
-SMOKE_KERNELS = ("engine-churn", "switch-pingpong", "colo-vessel")
+SMOKE_KERNELS = ("engine-churn", "switch-pingpong", "colo-vessel",
+                 "policy-dispatch")
 
 
 def _calibrate() -> float:

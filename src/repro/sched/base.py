@@ -67,16 +67,20 @@ class SystemReport:
         return self.buckets.get(f"app:{app_name}", 0)
 
     def cores_equivalent(self, category: str) -> float:
-        """Busy time of one bucket expressed in cores."""
-        denom = self.elapsed_ns * self.num_worker_cores
-        if denom <= 0:
+        """Busy time of one bucket expressed in cores.
+
+        ``busy / elapsed`` directly: the naive form divides busy by the
+        whole machine's time (elapsed * num_cores) and scales back up by
+        num_cores, which cancels exactly.
+        """
+        if self.elapsed_ns <= 0:
             return 0.0
         if category == "app":
             busy = sum(v for k, v in self.buckets.items()
                        if k.startswith("app:"))
         else:
             busy = self.buckets.get(category, 0)
-        return busy * self.num_worker_cores / denom
+        return busy / self.elapsed_ns
 
     def app_fraction(self) -> float:
         """Fraction of worker-core time doing application work."""
@@ -93,6 +97,9 @@ class SystemReport:
             return 0.0
         waste = self.buckets.get("runtime", 0) + self.buckets.get("kernel", 0)
         return waste / total
+
+    def p99_us(self, app_name: str) -> float:
+        return self.latency.get(app_name, {}).get("p99_us", float("nan"))
 
     def p999_us(self, app_name: str) -> float:
         return self.latency.get(app_name, {}).get("p999_us", float("nan"))

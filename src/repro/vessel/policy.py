@@ -1,0 +1,22 @@
+"""VESSEL's stock scheduling policy (§4.5), expressed in the policy API.
+
+This is the paper's one-level global policy — per-core FIFO run queues,
+idle-first / preempt-BE-second / shortest-queue-third placement, quantum
+rotation at request boundaries, and §4.4 long-request preemption — now
+produced as *decisions* executed by the ``VesselSystem`` mechanism.  The
+logic itself lives in :class:`repro.sched.policy.SchedPolicy` (it is the
+reference behaviour every zoo policy overrides); this subclass pins the
+registry name.  A run under this policy is byte-identical — reports and
+ledger op counts — to the pre-framework hard-wired scheduler.
+"""
+
+from __future__ import annotations
+
+from repro.sched.policy import SchedPolicy, register_policy
+
+
+@register_policy
+class VesselDefaultPolicy(SchedPolicy):
+    """Global FIFO + rotation + BE preemption (the paper's behaviour)."""
+
+    name = "default"

@@ -20,18 +20,29 @@ reacts to arrivals and periodically rebalances:
 Every switch goes through the functional layer (`UserspaceSwitch`), so
 PKRU values and CPUID_TO_TASK_MAP stay correct during performance runs —
 the simulation would fault (MpkFault) if the mechanism were wired wrong.
+
+Since the policy split (ghOSt-style), this module is the *mechanism*
+half only: it delivers events to a pluggable :class:`SchedPolicy` and
+executes the decisions the policy returns, through the same Uintr /
+call-gate / containment machinery and charging the same ledger ops.
+``VesselDefaultPolicy`` reproduces the behaviour described above
+byte-for-byte; pass ``policy=`` to swap in a zoo policy.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Union
 
 from repro.sim.engine import Event, Simulator
 from repro.sim.rng import RngStreams
 from repro.hardware.machine import Core, Machine
 from repro.kernel.signals import KernelSignals, SIGSEGV, Signal
 from repro.sched.base import ColocationSystem
+from repro.sched.policy import (
+    DEFAULT_ACTIVATION_BURST, DEFAULT_L_PREEMPT_QUANTUM_NS,
+    DEFAULT_ROTATION_QUANTUM_NS, Decision, Enqueue, Idle, Place, Preempt,
+    Rotate, Run, SchedPolicy, Steal, make_policy)
 from repro.uprocess.loader import ProgramImage
 from repro.uprocess.manager import Manager
 from repro.uprocess.threads import UThread, UThreadState
@@ -39,18 +50,11 @@ from repro.uprocess.usignals import Command, CommandKind
 from repro.vessel.runtime import VesselRuntime
 from repro.workloads.base import App, Request
 
-#: rotate to the FIFO head after the current thread has run this long
-#: with other threads waiting.  One uniform quantum for rotation and
-#: mid-request preemption: a slice ends early when the app's queue
-#: drains (the common case for short-request apps), so the quantum only
-#: binds for backlogged or long-request applications.
-ROTATION_QUANTUM_NS = 20_000
-#: preempt an L request mid-service once it has blocked queued threads
-#: for this long (§4.4: "preemption happens when a high-priority task is
-#: blocked by a low-priority one")
-L_PREEMPT_QUANTUM_NS = 20_000
-#: cap on new server activations per app per reaction
-ACTIVATION_BURST = 4
+#: backwards-compatible aliases — the quanta are policy parameters now
+#: (see ``repro.sched.policy``); these names keep old imports working.
+ROTATION_QUANTUM_NS = DEFAULT_ROTATION_QUANTUM_NS
+L_PREEMPT_QUANTUM_NS = DEFAULT_L_PREEMPT_QUANTUM_NS
+ACTIVATION_BURST = DEFAULT_ACTIVATION_BURST
 #: how long the scheduler waits for a preemption command to be acted on
 #: before escalating (normal Uintr ack is ~0.2 µs; the deadline leaves
 #: an order of magnitude of slack before the watchdog interferes)
@@ -73,15 +77,16 @@ class _PendingPreempt:
         self.attempt = attempt
 
 
-class _CoreState:
-    """Scheduler-side view of one worker core."""
+class CoreState:
+    """Scheduler-side view of one worker core (read-only to policies)."""
 
     __slots__ = ("core", "fifo", "kind", "thread", "batch_run", "request",
                  "run_started", "uitt_index")
 
-    def __init__(self, core: Core) -> None:
+    def __init__(self, core: Core, fifo) -> None:
         self.core = core
-        self.fifo: Deque[UThread] = deque()
+        #: run queue; discipline chosen by the policy (FIFO by default)
+        self.fifo = fifo
         self.kind: Optional[str] = None  # None | "L" | "B" | "switch"
         self.thread: Optional[UThread] = None
         self.batch_run = None
@@ -90,8 +95,8 @@ class _CoreState:
         self.uitt_index = -1
 
 
-class _AppState:
-    """Scheduler-side view of one application."""
+class AppState:
+    """Scheduler-side view of one application (read-only to policies)."""
 
     __slots__ = ("app", "uproc", "threads", "parked", "queued_servers")
 
@@ -100,8 +105,68 @@ class _AppState:
         self.uproc = uproc
         self.threads: List[UThread] = []
         self.parked: Deque[UThread] = deque()
-        #: threads sitting in some core FIFO (activated, not yet running)
+        #: threads sitting in some core run queue (activated, not running)
         self.queued_servers = 0
+
+
+#: old private names, kept for callers that poked at internals
+_CoreState = CoreState
+_AppState = AppState
+
+
+class PolicyContext:
+    """The mechanism state a policy may *read* (see ``SchedPolicy.bind``).
+
+    Policies get no direct reference to the system: every mutation goes
+    through a returned :class:`Decision`, which the mechanism validates
+    before executing — a buggy policy is contained the same way a buggy
+    application is (§4.3).
+    """
+
+    __slots__ = ("_system",)
+
+    def __init__(self, system: "VesselSystem") -> None:
+        self._system = system
+
+    @property
+    def now(self) -> int:
+        return self._system.sim.now
+
+    def core_states(self):
+        """Per-core states, in the fixed worker-core order."""
+        return self._system._cores.values()
+
+    def core_state(self, core_id: int) -> Optional[CoreState]:
+        return self._system._cores.get(core_id)
+
+    def app_states(self):
+        """Per-app states, in app-registration order."""
+        return self._system._apps.values()
+
+    def app_state(self, name: str) -> Optional[AppState]:
+        return self._system._apps.get(name)
+
+    def next_be_thread(self) -> Optional[UThread]:
+        """Runnable head of the global best-effort queue (suspended
+        applications skipped), without dequeuing it."""
+        system = self._system
+        for thread in system._be_queue:
+            if thread.payload.name not in system._suspended_apps:
+                return thread
+        return None
+
+    def sibling_of(self, core_id: int) -> Optional[CoreState]:
+        """SMT sibling's core state: worker cores pair up in order
+        (first with second, third with fourth, ...); ``None`` for an
+        unpaired trailing core."""
+        cores = list(self._system._cores.values())
+        for index, state in enumerate(cores):
+            if state.core.id == core_id:
+                mate = index + 1 if index % 2 == 0 else index - 1
+                if 0 <= mate < len(cores):
+                    return cores[mate]
+                return None
+        return None
 
 
 class VesselSystem(ColocationSystem):
@@ -111,14 +176,24 @@ class VesselSystem(ColocationSystem):
 
     def __init__(self, sim: Simulator, machine: Machine, rngs: RngStreams,
                  worker_cores: Optional[List[Core]] = None,
-                 rotation_quantum_ns: int = ROTATION_QUANTUM_NS,
-                 l_preempt_quantum_ns: int = L_PREEMPT_QUANTUM_NS,
+                 policy: Union[SchedPolicy, str, None] = None,
+                 rotation_quantum_ns: Optional[int] = None,
+                 l_preempt_quantum_ns: Optional[int] = None,
                  containment: bool = True,
                  preempt_ack_ns: int = PREEMPT_ACK_NS,
                  heartbeat_interval_ns: int = HEARTBEAT_INTERVAL_NS) -> None:
         super().__init__(sim, machine, rngs, worker_cores)
-        self.rotation_quantum_ns = rotation_quantum_ns
-        self.l_preempt_quantum_ns = l_preempt_quantum_ns
+        if policy is None:
+            policy = make_policy("default")
+        elif isinstance(policy, str):
+            policy = make_policy(policy)
+        self.policy = policy
+        # Explicit quanta override whatever the policy was built with
+        # (backwards-compatible with the pre-framework constructor).
+        if rotation_quantum_ns is not None:
+            policy.rotation_quantum_ns = rotation_quantum_ns
+        if l_preempt_quantum_ns is not None:
+            policy.l_preempt_quantum_ns = l_preempt_quantum_ns
         #: failure-containment machinery (preemption watchdog, SIGSEGV
         #: teardown, scheduler-liveness heartbeat); the ablation toggle
         #: for fault-injection experiments
@@ -133,16 +208,20 @@ class VesselSystem(ColocationSystem):
                                                  name="vessel-domain")
         self.runtime = VesselRuntime(self.domain)
         self.switcher = self.domain.switcher
-        self._cores: Dict[int, _CoreState] = {
-            core.id: _CoreState(core) for core in self.worker_cores
+        self.policy.bind(PolicyContext(self))
+        self._cores: Dict[int, CoreState] = {
+            core.id: CoreState(core, self.policy.make_core_queue())
+            for core in self.worker_cores
         }
-        self._apps: Dict[str, _AppState] = {}
+        self._apps: Dict[str, AppState] = {}
         self._be_queue: Deque[UThread] = deque()
         self._scheduler_core_id = 0  # the dedicated busy-polling core
         self._suspended_apps: set = set()
         self._suspended_threads: Deque[UThread] = deque()
         self.preemptions = 0
         self.rotations = 0
+        #: decisions the mechanism refused to execute (buggy policy)
+        self.policy_rejects = 0
         self._started = False
         # --- containment state -------------------------------------------
         self._pending_preempts: Dict[int, _PendingPreempt] = {}
@@ -154,6 +233,24 @@ class VesselSystem(ColocationSystem):
         self.contained_crashes = 0
         self.sched_restarts = 0
         self.rogue_kills = 0
+
+    # The quanta are policy parameters now; these properties keep the
+    # old ``system.rotation_quantum_ns`` attribute access working.
+    @property
+    def rotation_quantum_ns(self) -> int:
+        return self.policy.rotation_quantum_ns
+
+    @rotation_quantum_ns.setter
+    def rotation_quantum_ns(self, value: int) -> None:
+        self.policy.rotation_quantum_ns = value
+
+    @property
+    def l_preempt_quantum_ns(self) -> int:
+        return self.policy.l_preempt_quantum_ns
+
+    @l_preempt_quantum_ns.setter
+    def l_preempt_quantum_ns(self, value: int) -> None:
+        self.policy.l_preempt_quantum_ns = value
 
     # ------------------------------------------------------------------
     # Setup
@@ -170,7 +267,7 @@ class VesselSystem(ColocationSystem):
             self.signals.register(
                 uproc.boot_kprocess, SIGSEGV,
                 lambda proc, sig, u=uproc: self._on_sigsegv(u))
-        state = _AppState(app, uproc)
+        state = AppState(app, uproc)
         self._apps[app.name] = state
         count = len(self.worker_cores)
         for i in range(count):
@@ -182,6 +279,7 @@ class VesselSystem(ColocationSystem):
                 state.parked.append(thread)
             else:
                 self._be_queue.append(thread)
+        self.policy.on_app_added(state)
 
     @property
     def effective_scan_ns(self) -> int:
@@ -249,43 +347,11 @@ class VesselSystem(ColocationSystem):
                     * self.control_plane_factor)
         self.sim.post(react, self._dispatch_app, state)
 
-    def _dispatch_app(self, state: _AppState) -> None:
+    def _dispatch_app(self, state: AppState) -> None:
         """Ensure enough server threads are active for this app's queue."""
-        app = state.app
-        if not app.queue:
+        if not state.app.queue:
             return
-        active = sum(1 for t in state.threads
-                     if t.state is UThreadState.RUNNING)
-        deficit = min(len(app.queue) - active - state.queued_servers,
-                      len(state.parked), ACTIVATION_BURST)
-        for _ in range(max(0, deficit)):
-            if not self._activate_one(state):
-                break
-
-    def _activate_one(self, state: _AppState) -> bool:
-        """Place one parked server thread; returns False if nowhere to go."""
-        if not state.parked:
-            return False
-        # 1) an UMWAITing core
-        idle = self._find_idle_core()
-        if idle is not None:
-            thread = state.parked.popleft()
-            self._wake_core_with(idle, thread)
-            return True
-        # 2) preempt a best-effort core via Uintr
-        victim = self._find_be_core()
-        if victim is not None:
-            thread = state.parked.popleft()
-            self._preempt_for(victim, thread)
-            return True
-        # 3) queue on the shortest FIFO (one server per app per core)
-        target = self._shortest_fifo_core(state)
-        if target is None:
-            return False
-        thread = state.parked.popleft()
-        target.fifo.append(thread)
-        state.queued_servers += 1
-        return True
+        self._run_decisions(self.policy.on_arrival(state))
 
     def _return_be(self, thread: UThread) -> None:
         """Park a best-effort thread back into the global queue."""
@@ -293,33 +359,153 @@ class VesselSystem(ColocationSystem):
         thread.core_id = None
         self._be_queue.append(thread)
 
-    def _find_idle_core(self) -> Optional[_CoreState]:
-        for state in self._cores.values():
-            if state.kind is None and not state.core.busy:
-                return state
-        return None
+    # ------------------------------------------------------------------
+    # Decision execution.  The policy computes one decision at a time
+    # against live state; the mechanism validates and executes it before
+    # the policy's generator resumes — so the sequential behaviour is
+    # exactly the pre-framework inline code's, and an invalid decision
+    # from a buggy policy is rejected instead of corrupting state.
+    # ------------------------------------------------------------------
+    def _run_decisions(self, decisions) -> None:
+        for decision in decisions:
+            if decision is not None:
+                self._execute(decision)
 
-    def _find_be_core(self) -> Optional[_CoreState]:
-        for state in self._cores.values():
-            if state.kind == "B":
-                return state
-        return None
+    def _reject(self, decision: Decision) -> bool:
+        self.policy_rejects += 1
+        if self.ledger.enabled:
+            self.ledger.count_op("policy:rejected", domain="policy")
+        return False
 
-    def _shortest_fifo_core(self, app_state: _AppState) -> Optional[_CoreState]:
-        best = None
-        best_depth = None
-        for state in self._cores.values():
-            if state.kind != "L":
-                continue
-            if any(t.uproc is app_state.uproc for t in state.fifo):
-                continue
-            if state.thread is not None \
-                    and state.thread.uproc is app_state.uproc:
-                continue
-            depth = len(state.fifo)
-            if best_depth is None or depth < best_depth:
-                best, best_depth = state, depth
-        return best
+    def _execute(self, decision: Decision) -> bool:
+        """Validate + execute one decision; False if it was rejected."""
+        if isinstance(decision, Place):
+            return self._exec_place(decision)
+        if isinstance(decision, Preempt):
+            return self._exec_preempt(decision)
+        if isinstance(decision, Enqueue):
+            return self._exec_enqueue(decision)
+        if isinstance(decision, Run):
+            return self._exec_run(decision)
+        if isinstance(decision, Steal):
+            return self._exec_steal(decision)
+        if isinstance(decision, Idle):
+            return self._exec_idle(decision)
+        # Rotate is only meaningful at a request boundary; the serving
+        # loop consumes it directly (see _serve_next).
+        return self._reject(decision)
+
+    def _take_parked(self, thread: UThread) -> Optional[AppState]:
+        """Claim a parked latency thread for placement, or None."""
+        app_state = self._apps.get(thread.payload.name)
+        if app_state is None or thread not in app_state.parked:
+            return None
+        app_state.parked.remove(thread)
+        return app_state
+
+    def _exec_place(self, decision: Place) -> bool:
+        state = self._cores.get(decision.core_id)
+        if state is None or state.kind is not None or state.core.busy:
+            return self._reject(decision)
+        if self._take_parked(decision.thread) is None:
+            return self._reject(decision)
+        self._wake_core_with(state, decision.thread)
+        return True
+
+    def _exec_preempt(self, decision: Preempt) -> bool:
+        state = self._cores.get(decision.core_id)
+        if state is None or decision.victim is not state.thread:
+            return self._reject(decision)
+        if state.kind == "B":
+            if decision.incoming is None:
+                return self._exec_force_idle(state)
+            if self._take_parked(decision.incoming) is None:
+                return self._reject(decision)
+            self._preempt_for(state, decision.incoming)
+            return True
+        if state.kind == "L":
+            return self._exec_l_preempt(state, decision)
+        return self._reject(decision)
+
+    def _exec_force_idle(self, state: CoreState) -> bool:
+        """Evict a best-effort thread with no replacement (the forced
+        idle of Linux core scheduling: a mismatched SMT sibling must
+        not run)."""
+        self.preemptions += 1
+        if self.ledger.enabled:
+            self.ledger.count_op("sched_preemption", core=state.core.id,
+                                 domain="vessel")
+        if state.batch_run is not None:
+            state.batch_run.preempt()
+            state.batch_run = None
+        thread = state.thread
+        state.thread = None
+        state.kind = None
+        if thread is not None:
+            self._return_be(thread)
+        state.core.set_idle()
+        return True
+
+    def _exec_enqueue(self, decision: Enqueue) -> bool:
+        state = self._cores.get(decision.core_id)
+        if state is None or state.kind != "L":
+            return self._reject(decision)
+        app_state = self._take_parked(decision.thread)
+        if app_state is None:
+            return self._reject(decision)
+        state.fifo.append(decision.thread)
+        app_state.queued_servers += 1
+        return True
+
+    def _exec_run(self, decision: Run) -> bool:
+        state = self._cores.get(decision.core_id)
+        if state is None or state.kind is not None or state.core.busy \
+                or state.batch_run is not None:
+            return self._reject(decision)
+        thread = decision.thread
+        if thread in state.fifo:
+            state.fifo.remove(thread)
+            self._apps[thread.payload.name].queued_servers -= 1
+            self._start_thread(state, thread, preempt=False)
+            return True
+        if thread in self._be_queue:
+            if thread.payload.name in self._suspended_apps:
+                return self._reject(decision)
+            # Suspended threads queued ahead of the chosen one step
+            # aside (exactly the old _fill_core pop-and-skip loop).
+            while self._be_queue and self._be_queue[0] is not thread \
+                    and self._be_queue[0].payload.name in self._suspended_apps:
+                self._suspended_threads.append(self._be_queue.popleft())
+            self._be_queue.remove(thread)
+            self._start_thread(state, thread, preempt=False)
+            return True
+        return self._reject(decision)
+
+    def _exec_steal(self, decision: Steal) -> bool:
+        state = self._cores.get(decision.core_id)
+        source = self._cores.get(decision.from_core_id)
+        if state is None or source is None or source is state \
+                or state.kind is not None or state.core.busy \
+                or not source.fifo:
+            return self._reject(decision)
+        thread = source.fifo.popleft()
+        self._apps[thread.payload.name].queued_servers -= 1
+        self._start_thread(state, thread, preempt=False)
+        return True
+
+    def _exec_idle(self, decision: Idle) -> bool:
+        state = self._cores.get(decision.core_id)
+        if state is None or state.kind is not None or state.core.busy:
+            return self._reject(decision)
+        # Threads of suspended apps at the BE queue's head move to the
+        # held list (the old _fill_core drained them while searching).
+        while self._be_queue \
+                and self._be_queue[0].payload.name in self._suspended_apps:
+            self._suspended_threads.append(self._be_queue.popleft())
+        state.kind = None
+        state.thread = None
+        state.core.set_idle()
+        return True
 
     # ------------------------------------------------------------------
     # Periodic scan (rebalance + BE filling)
@@ -328,14 +514,7 @@ class VesselSystem(ColocationSystem):
         if self._sched_stalled:
             return
         self._last_scan_ns = self.sim.now
-        for app_state in self._apps.values():
-            if app_state.app.is_latency and app_state.app.queue:
-                self._dispatch_app(app_state)
-        for state in self._cores.values():
-            if state.kind is None and not state.core.busy:
-                self._fill_core(state)
-            elif state.kind == "L":
-                self._maybe_preempt_long_request(state)
+        self._run_decisions(self.policy.on_tick())
         self._scan_event = self.sim.after(self.effective_scan_ns, self._scan)
 
     # ------------------------------------------------------------------
@@ -374,16 +553,13 @@ class VesselSystem(ColocationSystem):
             self._scan_event = self.sim.call_soon(self._scan)
         self.sim.post(self.heartbeat_interval_ns, self._heartbeat)
 
-    def _maybe_preempt_long_request(self, state: _CoreState) -> None:
+    def _exec_l_preempt(self, state: CoreState, decision: Preempt) -> bool:
         """§4.4 preemption: a long request is hogging a core other
         latency threads are queued on.  The request is suspended (its
         remaining service returns to the front of its app's queue) and
         the core rotates via a Uintr-priced switch."""
-        if state.request is None or not state.fifo:
-            return
-        ran = self.sim.now - (state.request.start_ns or self.sim.now)
-        if ran < self.l_preempt_quantum_ns:
-            return
+        if state.request is None or decision.incoming not in state.fifo:
+            return self._reject(decision)
         request = state.request
         remaining = state.core.preempt()
         request.service_ns = max(1, remaining)
@@ -401,27 +577,22 @@ class VesselSystem(ColocationSystem):
         state.thread = None
         state.kind = None
         self.switcher.park_current(state.core)
-        next_thread = state.fifo.popleft()
+        next_thread = decision.incoming
+        state.fifo.remove(next_thread)
         self._apps[next_thread.payload.name].queued_servers -= 1
         self._start_thread(state, next_thread, preempt=True)
+        return True
 
-    def _fill_core(self, state: _CoreState) -> None:
-        """Idle core: FIFO first, then the global BE queue, else UMWAIT."""
-        if state.fifo:
-            thread = state.fifo.popleft()
-            self._apps[thread.payload.name].queued_servers -= 1
-            self._start_thread(state, thread, preempt=False)
-            return
-        while self._be_queue:
-            thread = self._be_queue.popleft()
-            if thread.payload.name in self._suspended_apps:
-                self._suspended_threads.append(thread)
-                continue
-            self._start_thread(state, thread, preempt=False)
-            return
-        state.kind = None
-        state.thread = None
-        state.core.set_idle()
+    def _fill_core(self, state: CoreState) -> None:
+        """Idle core: ask the policy what to run (queue head first, then
+        the global BE queue, else UMWAIT, under the default policy)."""
+        decision = self.policy.on_core_idle(state)
+        if decision is None or not self._execute(decision):
+            # A policy that answers nothing executable leaves the core
+            # in UMWAIT; the next scan asks again.
+            state.kind = None
+            state.thread = None
+            state.core.set_idle()
 
     # ------------------------------------------------------------------
     # Switching machinery
@@ -644,23 +815,32 @@ class VesselSystem(ColocationSystem):
     # ------------------------------------------------------------------
     # Latency-app serving loop
     # ------------------------------------------------------------------
-    def _serve_next(self, state: _CoreState) -> None:
+    def _serve_next(self, state: CoreState) -> None:
         thread = state.thread
         app: App = thread.payload
-        # Time-sliced rotation: at a request boundary, yield to the FIFO
-        # head once this thread has held the core for its quantum.  The
-        # slice ends early anyway whenever the app's queue drains, so the
-        # quantum only binds for backlogged applications.
-        if state.fifo and \
-                self.sim.now - state.run_started >= self.rotation_quantum_ns:
-            self.rotations += 1
-            if self.ledger.enabled:
-                self.ledger.count_op("sched_rotation", core=state.core.id,
-                                     domain="vessel")
-            self._park_thread(state, requeue=bool(app.queue))
-            return
-        request = app.pop_request()
+        # Time-sliced rotation: at a request boundary, yield to the run
+        # queue's head once this thread has held the core for its
+        # policy-set quantum.  The slice ends early anyway whenever the
+        # app's queue drains, so the quantum only binds for backlogged
+        # applications.
+        quantum = self.policy.quantum_ns(state)
+        if state.fifo and quantum is not None \
+                and self.sim.now - state.run_started >= quantum:
+            decision = self.policy.on_quantum_expiry(state)
+            if isinstance(decision, Rotate) \
+                    and decision.core_id == state.core.id:
+                self.rotations += 1
+                if self.ledger.enabled:
+                    self.ledger.count_op("sched_rotation",
+                                         core=state.core.id,
+                                         domain="vessel")
+                self._park_thread(state, requeue=bool(app.queue))
+                return
+            # None (or anything else): the policy lets the thread keep
+            # the core past its quantum.
+        request = self.policy.pick_request(state, app)
         if request is None:
+            self.policy.on_thread_park(state, thread)
             self._park_thread(state, requeue=False)
             return
         state.request = request
@@ -668,7 +848,7 @@ class VesselSystem(ColocationSystem):
         state.core.run(f"app:{app.name}", self.effective_service_ns(request),
                        lambda: self._request_done(state, request))
 
-    def _request_done(self, state: _CoreState, request: Request) -> None:
+    def _request_done(self, state: CoreState, request: Request) -> None:
         state.request = None
         if request.io_wait_ns > 0 and not request.io_done:
             # Park on the device (§4.4): the IO proceeds asynchronously
@@ -679,6 +859,7 @@ class VesselSystem(ColocationSystem):
             self._serve_next(state)
             return
         request.app.complete(request, self.sim.now)
+        self.policy.on_request_done(state, request)
         self._serve_next(state)
 
     def _io_complete(self, request: Request) -> None:
@@ -853,12 +1034,13 @@ class VesselSystem(ColocationSystem):
         self._detach_app(state)
         return state.app
 
-    def _detach_app(self, state: _AppState) -> None:
+    def _detach_app(self, state: AppState) -> None:
         app = state.app
+        self.policy.on_app_removed(state)
         # Preempt every core currently running (or switching to) it and
         # consume the pending kill commands in privileged mode.
         for cs in self._cores.values():
-            cs.fifo = deque(t for t in cs.fifo if t.payload is not app)
+            cs.fifo.purge(lambda t: t.payload is app)
             if cs.thread is not None and cs.thread.payload is app:
                 if cs.batch_run is not None:
                     cs.batch_run.preempt()

@@ -175,9 +175,15 @@ def test_ablations_structure():
     results = abl.run(TINY)
     names = {r["variant"] for r in results["rows"]}
     assert names == {"vessel", "vessel-no-uintr", "vessel-kernel-switch",
-                     "caladan", "caladan-fast-switch"}
+                     "caladan", "caladan-fast-switch",
+                     "vessel-q5us", "vessel-q20us", "vessel-q80us"}
     gate = results["gate_defense"]
     assert gate["full_defenses_ns"] > gate["no_defenses_ns"]
+    # the quantum sweep's dense shape spends more on switching at the
+    # short quantum than at the long one
+    by_name = {r["variant"]: r for r in results["rows"]}
+    assert by_name["vessel-q5us"]["waste_fraction"] \
+        >= by_name["vessel-q80us"]["waste_fraction"]
 
 
 def test_cli_list_and_selection(capsys):

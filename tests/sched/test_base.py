@@ -27,6 +27,23 @@ def test_report_fractions():
     assert report.cores_equivalent("kernel") == pytest.approx(0.3)
 
 
+def test_cores_equivalent_is_busy_over_elapsed():
+    # The naive form — busy / (elapsed * num_cores) * num_cores — must
+    # equal the simplified busy / elapsed regardless of the core count.
+    for num_cores in (1, 2, 16):
+        report = SystemReport(system="x", elapsed_ns=1_000,
+                              num_worker_cores=num_cores)
+        report.buckets = {"app:a": 750, "runtime": 500}
+        naive = (750 / (1_000 * num_cores)) * num_cores
+        assert report.cores_equivalent("app") == pytest.approx(naive)
+        assert report.cores_equivalent("app") == pytest.approx(0.75)
+        assert report.cores_equivalent("runtime") == pytest.approx(0.5)
+    empty = SystemReport(system="x", elapsed_ns=0, num_worker_cores=2)
+    assert empty.cores_equivalent("app") == 0.0
+    report = SystemReport(system="x", elapsed_ns=100, num_worker_cores=2)
+    assert report.cores_equivalent("missing") == 0.0
+
+
 def test_report_p999_missing_is_nan():
     report = SystemReport(system="x", elapsed_ns=1, num_worker_cores=1)
     assert math.isnan(report.p999_us("nope"))
