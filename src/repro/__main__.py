@@ -49,6 +49,20 @@ EXPERIMENTS = {
     "ablations": "repro.experiments.ablations",
     "sensitivity": "repro.experiments.sensitivity",
     "policies": "repro.experiments.policy_zoo",
+    "churn": "repro.experiments.churn",
+    "flashcrowd": "repro.experiments.flashcrowd",
+    "oversub": "repro.experiments.oversub",
+    "overload": "repro.experiments.overload_suite",
+}
+
+#: scenario entries with their own flag sets (--smoke etc.); a leading
+#: argv[0] match routes straight to the module's cli_main, like bench
+_CLI_EXPERIMENTS = {
+    "policies": "repro.experiments.policy_zoo",
+    "churn": "repro.experiments.churn",
+    "flashcrowd": "repro.experiments.flashcrowd",
+    "oversub": "repro.experiments.oversub",
+    "overload": "repro.experiments.overload_suite",
 }
 
 
@@ -144,12 +158,12 @@ def main(argv=None) -> int:
     if argv and argv[0] == "bench":
         from repro.perf.bench import main as bench_main
         return bench_main(argv[1:])
-    if argv and argv[0] == "policies":
-        # Leading "policies" gets its own flag set (--smoke etc.), like
-        # bench; it still runs as a normal experiment when selected
+    if argv and argv[0] in _CLI_EXPERIMENTS:
+        # A leading scenario name gets its own flag set (--smoke etc.),
+        # like bench; it still runs as a normal experiment when selected
         # among others or via the run-everything default.
-        from repro.experiments.policy_zoo import cli_main
-        return cli_main(argv[1:])
+        module = importlib.import_module(_CLI_EXPERIMENTS[argv[0]])
+        return module.cli_main(argv[1:])
     args = parser.parse_args(argv)
 
     if args.list:

@@ -134,13 +134,26 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
                    bus_sensitivity: float = 0.0,
                    caladan_bw_cap: Optional[Tuple[str, float]] = None,
                    vessel_bw_cap: Optional[Tuple[str, float]] = None,
-                   setup_hook: Optional[Callable] = None) -> SystemReport:
+                   setup_hook: Optional[Callable] = None,
+                   admission=None, trace=None, churn=None,
+                   fault_plan=None,
+                   track_queues: bool = False) -> SystemReport:
     """Build and run one colocation simulation.
 
     ``l_specs`` rows are ``(kind, name, rate_mops)``; ``b_specs`` are
     B-app kinds ("linpack" / "membench").  Bandwidth caps (Figure 13) are
     ``(app_name, gbps)`` and are applied with each system's native
     mechanism: core-granular ticks for Caladan, duty-cycling for VESSEL.
+
+    Overload/robustness extras (all picklable, so batch sweeps fan out):
+    ``admission`` (an ``AdmissionConfig``) interposes load shedding on
+    the submit boundary and NIC ingress; ``trace`` (a ``LoadTrace``)
+    shapes every generator's offered rate; ``churn`` (a ``ChurnConfig``)
+    runs continuous tenant create/destroy; ``fault_plan`` attaches a
+    chaos plan (churn alone also attaches an empty-plan injector, purely
+    for the post-run containment audit); ``track_queues`` samples L-app
+    queue depths through the measurement window for the
+    graceful-degradation signal (``queue_peak`` / ``queue_final``).
     """
     sim = Simulator()
     # Observability must be wired before the system is built: layers
@@ -173,6 +186,15 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
     system = factory(sim, machine, rngs, worker_cores=workers, **kwargs)
     system.bus_sensitivity = bus_sensitivity
 
+    # Admission control must interpose before anything snapshots the
+    # system's bound ``submit`` (direct sources and fabric.connect both
+    # capture the reference), so it attaches immediately.
+    admission_ctl = None
+    if admission is not None:
+        from repro.overload.admission import AdmissionControl
+        admission_ctl = AdmissionControl(sim, admission, ledger=ledger)
+        admission_ctl.attach(system)
+
     # Load delivery: direct submit (the seed-faithful default) or the
     # simulated client/link/NIC fabric (client-observed percentiles).
     fabric = None
@@ -204,7 +226,38 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
 
     if fabric is not None:
         fabric.connect(system)
+        if admission_ctl is not None:
+            fabric.admission = admission_ctl
     system.start()
+    injector = None
+    if fault_plan is not None or churn is not None:
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan
+        injector = FaultInjector(fault_plan if fault_plan is not None
+                                 else FaultPlan(seed=cfg.seed))
+        injector.attach(system)
+    churn_driver = None
+    if churn is not None:
+        from repro.overload.churn import ChurnDriver
+        churn_driver = ChurnDriver(sim, system, rngs, churn)
+        churn_driver.start()
+    if trace is not None:
+        from repro.overload.trace import LoadShaper
+        shaper = LoadShaper(sim, trace)
+        if fabric is not None:
+            shaper.attach_fabric(fabric)
+        for source in sources:
+            shaper.attach_source(source)
+        shaper.start()
+    queue_peaks: Dict[str, int] = {}
+    if track_queues:
+        def _sample_queues() -> None:
+            for app in system.apps:
+                if app.is_latency and \
+                        len(app.queue) > queue_peaks.get(app.name, 0):
+                    queue_peaks[app.name] = len(app.queue)
+            sim.post(50_000, _sample_queues)
+        sim.at(cfg.warmup_ms * MS, _sample_queues)
     if vessel_bw_cap is not None and system_name == "vessel":
         from repro.vessel.regulation import VesselBandwidthRegulator
         regulator = VesselBandwidthRegulator(
@@ -217,6 +270,8 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
     sim.at(cfg.warmup_ms * MS, system.begin_measurement)
     if fabric is not None:
         sim.at(cfg.warmup_ms * MS, fabric.begin_measurement)
+    if admission_ctl is not None:
+        sim.at(cfg.warmup_ms * MS, admission_ctl.begin_measurement)
     sim.run(until=cfg.sim_ms * MS)
     if ledger is not None:
         if cfg.op_breakdown:
@@ -232,6 +287,22 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
         for name, recorder in fabric.client_latency.items():
             report.client_latency[name] = summarize_ns(recorder.samples)
         report.net_ops = fabric.counters_snapshot()
+        report.net_conservation = fabric.conservation()
+    if admission_ctl is not None:
+        report.admission = admission_ctl.snapshot()
+    if injector is not None:
+        report.uncontained = injector.uncontained()
+        report.fault_injected = {kind.value: count for kind, count
+                                 in injector.injected.items() if count}
+    if churn_driver is not None:
+        report.churn = churn_driver.snapshot()
+    if track_queues:
+        report.queue_peak = dict(sorted(queue_peaks.items()))
+        report.queue_final = {app.name: len(app.queue)
+                              for app in system.apps if app.is_latency}
+    policy_obj = getattr(system, "policy", None)
+    if policy_obj is not None and hasattr(policy_obj, "scaling_snapshot"):
+        report.autoscale = policy_obj.scaling_snapshot()
     return report
 
 

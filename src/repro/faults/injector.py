@@ -171,4 +171,18 @@ class FaultInjector:
             if not uproc.alive and fds:
                 issues.append(f"{uproc.name}: {len(fds)} kernel "
                               "descriptors leaked after death")
+        # Churn-aware checks: under continuous create/destroy, teardown
+        # must leave no per-tenant residue in kernel-side tables.
+        signals = getattr(system, "signals", None)
+        if signals is not None:
+            for pid, signo in signals.stale_handlers():
+                issues.append(f"signal handler ({pid}, {signo}) leaked "
+                              "after owner death")
+        manager = getattr(system, "manager", None)
+        if manager is not None:
+            dead_children = sum(1 for child in manager.kprocess.children
+                                if not child.alive)
+            if dead_children:
+                issues.append(f"{dead_children} dead boot kProcess(es) "
+                              "still on the manager's child list")
         return issues

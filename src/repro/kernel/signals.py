@@ -44,6 +44,9 @@ class KernelSignals:
         self.costs = costs
         self.ledger = ledger or NULL_LEDGER
         self._handlers: Dict[Tuple[int, int], SignalHandler] = {}
+        #: pid -> process, for the churn audit: a handler whose owner is
+        #: dead and was never unregistered is a teardown leak
+        self._owners: Dict[int, KProcess] = {}
         self.delivered: int = 0
         self.killed: int = 0
 
@@ -53,6 +56,21 @@ class KernelSignals:
         if signo == SIGKILL:
             raise ValueError("SIGKILL cannot be caught")
         self._handlers[(proc.pid, signo)] = handler
+        self._owners[proc.pid] = proc
+
+    def unregister(self, proc: KProcess, signo: int) -> None:
+        """Drop a handler at teardown.  Without this, churned processes
+        leave one table entry each — pids are never reused, so the table
+        grows without bound.  Safe to call for a never-registered pair."""
+        self._handlers.pop((proc.pid, signo), None)
+        if not any(pid == proc.pid for pid, _ in self._handlers):
+            self._owners.pop(proc.pid, None)
+
+    def stale_handlers(self) -> list:
+        """(pid, signo) pairs whose owning process is dead — entries a
+        clean teardown should have unregistered."""
+        return sorted((pid, signo) for (pid, signo) in self._handlers
+                      if not self._owners[pid].alive)
 
     def post(self, proc: KProcess, signal: Signal) -> None:
         """Queue ``signal`` for delivery after the kernel signal path."""

@@ -39,6 +39,24 @@ class NetConfig:
     #: backoff before retransmitting an *observed* drop (loss callbacks
     #: fire long before the timeout would)
     drop_retry_backoff_ns: int = 5 * US
+    #: exponential retry backoff: attempt k waits
+    #: ``backoff_base_ns * backoff_factor**(k-1)`` (clamped to
+    #: ``backoff_max_ns``) plus up to ``backoff_jitter`` of itself in
+    #: seeded jitter.  0 disables it and preserves the legacy behavior
+    #: (immediate retry on timeout, fixed ``drop_retry_backoff_ns`` on
+    #: an observed drop) byte-for-byte.
+    backoff_base_ns: int = 0
+    backoff_factor: float = 2.0
+    backoff_max_ns: int = 1 * MS
+    backoff_jitter: float = 0.0
+    #: per-machine retry budget (token bucket): each *new* logical
+    #: request earns ``retry_budget`` tokens (capped at
+    #: ``retry_budget_cap``); a retransmission spends one.  An empty
+    #: bucket converts the retry into a loss (counted
+    #: ``retries_suppressed``) — this is what stops retry storms from
+    #: amplifying overload.  0 disables budgeting (legacy behavior).
+    retry_budget: float = 0.0
+    retry_budget_cap: float = 10.0
     #: closed-loop clients: each connection keeps one request in flight
     #: and thinks for ``think_ns`` between response and next send
     closed_loop: bool = False

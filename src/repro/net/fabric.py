@@ -36,7 +36,8 @@ from repro.workloads.base import App, Request
 
 #: per-app counters the fabric tracks (report rows are in this order)
 COUNTER_KEYS = ("offered", "completed", "retries", "timeouts", "losses",
-                "drops_observed", "dup_responses")
+                "drops_observed", "dup_responses", "sheds",
+                "retries_suppressed", "backoff_ns")
 
 
 class NetFabric:
@@ -70,6 +71,18 @@ class NetFabric:
         self._specs: List[Tuple[App, float, Callable, Optional[Callable],
                                 int]] = []
         self.submit: Optional[Callable[[Request], None]] = None
+        #: logical requests sent but not yet completed or lost.  Unlike
+        #: ``stats`` this gauge is *not* reset at ``begin_measurement``
+        #: (a request in flight across the warmup boundary still has to
+        #: terminate); the reset instead snapshots it, so the identity
+        #: ``offered + in_flight_at_reset == completed + losses +
+        #: in_flight`` holds exactly for any warmup window.
+        self.inflight: Dict[str, int] = {}
+        self._inflight_at_reset: Dict[str, int] = {}
+        #: optional server-side admission control
+        #: (:class:`repro.overload.admission.AdmissionControl`); when set
+        #: the fabric consults it before a packet occupies an RX ring.
+        self.admission = None
 
     @property
     def links(self) -> List[Link]:
@@ -90,6 +103,7 @@ class NetFabric:
         self.client_latency[app.name] = LatencyRecorder(
             f"client/{app.name}")
         self.stats[app.name] = {key: 0 for key in COUNTER_KEYS}
+        self.inflight[app.name] = 0
 
     def connect(self, system) -> None:
         """Wire the fabric into ``system`` and start the generators."""
@@ -122,6 +136,17 @@ class NetFabric:
                           self._nic_rx)
 
     def _nic_rx(self, request: Request) -> None:
+        if self.admission is not None:
+            reason = self.admission.reason_to_shed(request.app,
+                                                   self.sim.now)
+            if reason is not None:
+                # Rejected before it occupies an RX ring slot: the
+                # cheapest point to shed, and the rejection flows back to
+                # the client like any response.
+                self.admission.count_shed(request.app.name, reason,
+                                          stage="ingress")
+                self.shed_response(request)
+                return
         self.nic.rx(request)
 
     def _server_intake(self, request: Request) -> None:
@@ -137,6 +162,22 @@ class NetFabric:
 
     def _deliver_response(self, request: Request) -> None:
         request.net_token.machine.on_response(request)
+
+    def shed_response(self, request: Request) -> None:
+        """Admission control rejected ``request``; tell its client.
+
+        The rejection is a tiny response riding the server->clients
+        direction, so clients observe sheds with realistic delay and the
+        accounting (``sheds`` counter, ``shed_response`` op) is exact.
+        """
+        self.bump(request.app.name, "sheds", op="shed_response")
+        self.link_out.send(request, self.cfg.header_bytes,
+                           self._deliver_shed)
+
+    def _deliver_shed(self, request: Request) -> None:
+        pending = request.net_token
+        if pending is not None:
+            pending.machine.on_shed(request)
 
     def _on_drop(self, request: Request) -> None:
         """A link or NIC ring lost this packet; tell the owning client."""
@@ -155,6 +196,45 @@ class NetFabric:
         if op is not None and self.ledger.enabled:
             self.ledger.count_op(op, domain="net")
 
+    def add(self, app_name: str, key: str, amount: int) -> None:
+        """Accumulate ``amount`` into a counter (e.g. ``backoff_ns``)."""
+        stats = self.stats.get(app_name)
+        if stats is not None:
+            stats[key] += amount
+
+    def inflight_inc(self, app_name: str) -> None:
+        if app_name in self.inflight:
+            self.inflight[app_name] += 1
+
+    def inflight_dec(self, app_name: str) -> None:
+        if app_name in self.inflight:
+            self.inflight[app_name] -= 1
+
+    def conservation(self) -> Dict[str, Dict[str, int]]:
+        """Per-app accounting identity over the counted window.
+
+        Every request offered in the window — plus every request already
+        in flight when the window opened — terminates as exactly one of
+        completed / lost, or is still in flight at the horizon, so
+        ``balance`` is always 0.  (Sheds, timeouts, and retries are
+        intermediate outcomes of attempts, not of logical requests, so
+        they don't enter the identity.)
+        """
+        rows: Dict[str, Dict[str, int]] = {}
+        for app, stats in self.stats.items():
+            in_flight = self.inflight.get(app, 0)
+            carried = self._inflight_at_reset.get(app, 0)
+            rows[app] = {
+                "offered": stats["offered"],
+                "in_flight_at_reset": carried,
+                "completed": stats["completed"],
+                "losses": stats["losses"],
+                "in_flight": in_flight,
+                "balance": stats["offered"] + carried
+                - stats["completed"] - stats["losses"] - in_flight,
+            }
+        return rows
+
     def record_latency(self, app_name: str, latency_ns: int) -> None:
         recorder = self.client_latency.get(app_name)
         if recorder is not None:
@@ -167,6 +247,7 @@ class NetFabric:
         for stats in self.stats.values():
             for key in stats:
                 stats[key] = 0
+        self._inflight_at_reset = dict(self.inflight)
 
     def counters_snapshot(self) -> Dict[str, Dict[str, int]]:
         return {app: dict(stats) for app, stats in self.stats.items()}

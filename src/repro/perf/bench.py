@@ -141,6 +141,41 @@ def _kernel_colo_net(seed: int) -> Tuple[int, str]:
     return _colocation("vessel", seed, net=True)
 
 
+def _kernel_churn_cycle(seed: int) -> Tuple[int, str]:
+    """uProcess create/serve/destroy cycles against a running system.
+
+    Prices the full tenant lifecycle (SMAS slot grant, boot kProcess,
+    SIGSEGV registration, a little traffic, then the §5.1 teardown) —
+    the hot path of the churn/overload scenarios.
+    """
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import RngStreams
+    from repro.sim.units import US
+    from repro.hardware.machine import Machine
+    from repro.hardware.timing import CostModel
+    from repro.vessel.scheduler import VesselSystem
+    from repro.workloads.base import Request
+    from repro.workloads.linpack import linpack_app
+    from repro.workloads.memcached import memcached_app
+
+    sim = Simulator()
+    machine = Machine(sim, CostModel(), 3)
+    rngs = RngStreams(seed)
+    system = VesselSystem(sim, machine, rngs,
+                          worker_cores=machine.cores[1:])
+    system.add_app(linpack_app())
+    system.start()
+    cycles = 2_000
+    for cycle in range(cycles):
+        app = memcached_app(f"cycle{cycle}")
+        system.add_app(app)
+        for _ in range(4):
+            system.submit(Request(app, sim.now, 1000, 0))
+        sim.run(until=sim.now + 10 * US)
+        system.remove_app(app.name)
+    return cycles, "cycles"
+
+
 KERNELS: Dict[str, Callable[[int], Tuple[int, str]]] = {
     "engine-churn": _kernel_engine_churn,
     "switch-pingpong": _kernel_switch_pingpong,
@@ -148,11 +183,12 @@ KERNELS: Dict[str, Callable[[int], Tuple[int, str]]] = {
     "policy-dispatch": _kernel_policy_dispatch,
     "colo-caladan": _kernel_colo_caladan,
     "colo-net": _kernel_colo_net,
+    "churn-cycle": _kernel_churn_cycle,
 }
 
 #: the cheap subset the CI bench job runs (fails on >25 % regression)
 SMOKE_KERNELS = ("engine-churn", "switch-pingpong", "colo-vessel",
-                 "policy-dispatch")
+                 "policy-dispatch", "churn-cycle")
 
 
 def _calibrate() -> float:

@@ -55,6 +55,24 @@ class SystemReport:
     #: discrete events the run's Simulator fired (the bench harness
     #: divides by wall time for an events/sec figure)
     events_fired: int = 0
+    #: admission-control accounting (admitted / shed per app and stage),
+    #: only when the run attached an AdmissionControl
+    admission: Dict = field(default_factory=dict)
+    #: peak / final sampled L-app queue depth per app (only when the run
+    #: asked for queue tracking) — the graceful-degradation signal
+    queue_peak: Dict[str, int] = field(default_factory=dict)
+    queue_final: Dict[str, int] = field(default_factory=dict)
+    #: post-run containment audit (FaultInjector.uncontained), when run
+    #: with an injector attached; empty means every fault was absorbed
+    uncontained: List[str] = field(default_factory=list)
+    #: injected-fault counts by kind, when an injector was attached
+    fault_injected: Dict[str, int] = field(default_factory=dict)
+    #: tenant-churn accounting (ChurnDriver.snapshot), when enabled
+    churn: Dict = field(default_factory=dict)
+    #: per-app request-conservation check (NetFabric.conservation)
+    net_conservation: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: autoscaler controller state (SloAutoscalePolicy.scaling_snapshot)
+    autoscale: Dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def throughput_mops(self, app_name: str) -> float:

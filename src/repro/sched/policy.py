@@ -360,6 +360,7 @@ def _load_builtin_policies() -> None:
     """Import the modules whose import registers the built-in zoo."""
     import repro.sched.zoo  # noqa: F401
     import repro.vessel.policy  # noqa: F401
+    import repro.overload.autoscaler  # noqa: F401
 
 
 def available_policies() -> Dict[str, type]:

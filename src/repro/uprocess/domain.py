@@ -88,8 +88,11 @@ class SchedulingDomain:
         SIGSEGV containment path, and explicit destroy in any order.
         Reclaims, in turn, the threads and descriptor map (terminate),
         stale queued commands, proxied kernel descriptors (via the
-        attached runtime), and the SMAS slot with its pkey revoked to 0
-        until the slot is reallocated.
+        attached runtime), the SMAS slot with its pkey revoked to 0
+        until the slot is reallocated, and finally the boot kProcess
+        itself (killed and unlinked from the manager's child list) —
+        under create/destroy churn every one of these would otherwise
+        accumulate per departed tenant.
         """
         if uproc.alive:
             uproc.terminate()
@@ -100,6 +103,17 @@ class SchedulingDomain:
             self.smas.revoke_slot(uproc.slot)
             self.smas.release_slot(uproc.slot)
             self.ledger.count_op("uproc_reap", domain="uproc")
+        kproc = uproc.boot_kprocess
+        if kproc.alive:
+            kproc.kill()
+        parent = kproc.parent
+        if parent is not None and kproc in parent.children:
+            parent.children.remove(kproc)
+        # A fully reaped uProcess leaves the domain roster; dead-but-
+        # unreaped ones stay, which is exactly what the uncontained()
+        # audit looks for.
+        if uproc in self.uprocs:
+            self.uprocs.remove(uproc)
 
     def process_commands(self, core_id: int) -> List[Command]:
         """Consume the core's queue in privileged mode.

@@ -788,6 +788,26 @@ class VesselSystem(ColocationSystem):
                 self._apps[thread.payload.name].queued_servers += 1
                 continue
             self._start_thread(state, thread, preempt=True)
+        # Every command may have targeted a since-dead thread (its app
+        # was torn down between send and delivery): release the core
+        # reservation or a batch chunk's completion would wait forever
+        # for an install that is never coming.
+        self._release_switch_reservation(state)
+        if state.kind is None and not state.core.busy:
+            self._fill_core(state)
+
+    def _release_switch_reservation(self, state: _CoreState) -> None:
+        """Clear a stale "switch" reservation whose incoming thread is
+        gone (command consumed, or its app died mid-protocol).  A still
+        running batch chunk keeps the core; an empty idle core returns
+        to the pool for the next scan."""
+        if state.kind != "switch":
+            return
+        if state.batch_run is not None:
+            state.kind = "B"
+        elif not state.core.busy:
+            state.kind = None
+            state.thread = None
 
     def _start_thread(self, state: _CoreState, thread: UThread,
                       preempt: bool) -> None:
@@ -1051,16 +1071,33 @@ class VesselSystem(ColocationSystem):
                 cs.request = None
                 cs.kind = None
             if cs.kind != "wedged":
-                self.domain.process_commands(cs.core.id)
+                # Consuming the kill commands drains the whole queue, so
+                # a RUN_THREAD for a *surviving* app must be re-routed to
+                # the core's FIFO — dropping it would strand a thread
+                # that was already claimed out of its app's parked list.
+                for command in self.domain.process_commands(cs.core.id):
+                    if command.kind is not CommandKind.RUN_THREAD:
+                        continue
+                    other = command.payload
+                    if other.state is UThreadState.DEAD \
+                            or not other.uproc.alive:
+                        continue
+                    cs.fifo.append(other)
+                    self._apps[other.payload.name].queued_servers += 1
+                    pending = self._pending_preempts.get(cs.core.id)
+                    if pending is not None and pending.thread is other:
+                        # The preemption protocol resolved by requeueing;
+                        # escalation would install the thread twice.
+                        self._ack_preempt(cs.core.id)
+                        self._release_switch_reservation(cs)
             pending = self._pending_preempts.get(cs.core.id)
             if pending is not None and pending.thread.payload is app:
                 self._ack_preempt(cs.core.id)
-                if cs.kind == "switch" and cs.batch_run is None \
-                        and not cs.core.busy:
-                    cs.kind = None
-                    cs.thread = None
+                self._release_switch_reservation(cs)
         # Full teardown: threads, queued commands, proxied descriptors,
-        # SMAS slot + pkey (revoked until the slot is reused).
+        # SMAS slot + pkey (revoked until the slot is reused), and the
+        # runtime's SIGSEGV registration for the departing boot kProcess.
+        self.signals.unregister(state.uproc.boot_kprocess, SIGSEGV)
         self.domain.reap(state.uproc)
         self._be_queue = deque(t for t in self._be_queue
                                if t.payload is not app)

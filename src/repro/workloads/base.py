@@ -159,6 +159,10 @@ class OpenLoopSource:
         # rate in Mops/s == ops/µs; gap in ns = 1000 / rate
         return 1000.0 / self.rate_mops
 
+    def stop(self) -> None:
+        """Stop generating as of now (the pending tick self-cancels)."""
+        self.stop_ns = self.sim.now
+
     def _tick(self) -> None:
         # Hot path: one call per generated request across every sweep.
         # ``1.0 / (1000.0 / rate)`` repeats mean_gap_ns's exact float ops

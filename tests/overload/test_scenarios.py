@@ -1,0 +1,91 @@
+"""Scenario suite: determinism, --jobs equality, faults x overload.
+
+These run the real scenario entry points at tiny scale, so they cover
+the full wiring (admission + trace + churn + chaos through
+``run_colocation``) rather than isolated units.
+"""
+
+from repro.experiments import churn, flashcrowd, overload_suite, oversub
+from repro.experiments.common import ExperimentConfig
+
+
+def tiny(seed=42, **overrides):
+    cfg = ExperimentConfig(num_workers=2, sim_ms=3, warmup_ms=1, seed=seed)
+    return cfg.scaled(**overrides) if overrides else cfg
+
+
+def test_churn_deterministic_and_leak_free():
+    results = churn.run(tiny())
+    churned = results["churned"]
+    snap = churned.churn
+    assert snap["created"] > 0
+    assert snap["created"] - snap["destroyed"] == snap["active"]
+    assert churned.uncontained == []
+    # The long-lived tenant kept serving through the turnover.
+    assert churned.completed.get("resident", 0) > 0
+    assert churn._fingerprint(results) == churn._fingerprint(
+        churn.run(tiny()))
+
+
+def test_churn_jobs_equality():
+    serial = churn.run(tiny())
+    fanned = churn.run(tiny(jobs=2))
+    assert churn._fingerprint(serial) == churn._fingerprint(fanned)
+
+
+def test_flashcrowd_protected_arm_sheds_and_stays_bounded():
+    results = flashcrowd.run(tiny())
+    arms = dict(results["arms"])
+    flagship = arms[flashcrowd.FLAGSHIP]
+    plain = arms["vessel"]
+    assert flagship.net_ops["mc"]["sheds"] > 0
+    assert plain.net_ops["mc"]["sheds"] == 0
+    # Admission caps the protected queue below the unprotected peak.
+    assert flagship.queue_peak["mc"] < plain.queue_peak["mc"]
+
+
+def test_flashcrowd_jobs_equality():
+    serial = flashcrowd.run(tiny())
+    fanned = flashcrowd.run(tiny(jobs=2))
+    assert flashcrowd._fingerprint(serial) == flashcrowd._fingerprint(fanned)
+
+
+def test_oversub_admission_bounds_queues():
+    results = oversub.run(tiny())
+    by_label = {(factor, protected): report
+                for (factor, tenants, protected), report
+                in results["arms"]}
+    for factor in oversub.FACTORS:
+        worst_raw = max(by_label[(factor, False)].queue_peak.values())
+        worst_adm = max(by_label[(factor, True)].queue_peak.values())
+        cap = oversub.admission_for(factor).max_queue_depth
+        assert worst_adm <= cap
+        assert worst_adm < worst_raw
+
+
+def test_oversub_deterministic():
+    assert oversub._fingerprint(oversub.run(tiny())) \
+        == oversub._fingerprint(oversub.run(tiny()))
+
+
+def test_chaos_overload_contained_and_conserved():
+    """Uintr drops + packet delays during the spike: the audit must be
+    clean and the request-conservation identity exact."""
+    report = overload_suite.chaos_run(tiny())
+    assert sum(report.fault_injected.values()) > 0
+    assert report.uncontained == []
+    for name, row in report.net_conservation.items():
+        assert row["balance"] == 0, (name, row)
+    # Shed accounting agrees across the fabric and admission layers.
+    fabric_sheds = report.net_ops["mc"]["sheds"]
+    admission_sheds = sum(sum(per.values())
+                          for per in report.admission["shed"].values())
+    assert fabric_sheds == admission_sheds
+    assert fabric_sheds > 0
+
+
+def test_chaos_run_deterministic():
+    first = overload_suite.chaos_run(tiny())
+    second = overload_suite.chaos_run(tiny())
+    assert overload_suite._chaos_fingerprint(first) \
+        == overload_suite._chaos_fingerprint(second)
