@@ -53,6 +53,7 @@ EXPERIMENTS = {
     "flashcrowd": "repro.experiments.flashcrowd",
     "oversub": "repro.experiments.oversub",
     "overload": "repro.experiments.overload_suite",
+    "tracecheck": "repro.experiments.tracecheck",
 }
 
 #: scenario entries with their own flag sets (--smoke etc.); a leading
@@ -63,6 +64,7 @@ _CLI_EXPERIMENTS = {
     "flashcrowd": "repro.experiments.flashcrowd",
     "oversub": "repro.experiments.oversub",
     "overload": "repro.experiments.overload_suite",
+    "tracecheck": "repro.experiments.tracecheck",
 }
 
 
@@ -152,6 +154,14 @@ def main(argv=None) -> int:
                         help="run VESSEL under a registered scheduling "
                              "policy (default, mlfq, sjf, trust-group, "
                              "priority); baselines are unaffected")
+    parser.add_argument("--latency-breakdown", action="store_true",
+                        help="record per-request lifecycle flights and "
+                             "print a per-app per-stage latency "
+                             "decomposition after each run")
+    parser.add_argument("--trace-requests", metavar="K", type=int,
+                        default=0,
+                        help="capture and print the K slowest requests' "
+                             "full stage-span lists after each run")
 
     if argv is None:
         argv = sys.argv[1:]
@@ -184,7 +194,9 @@ def main(argv=None) -> int:
     cfg = ExperimentConfig(seed=args.seed, op_breakdown=args.op_breakdown,
                            trace_out=args.trace_out,
                            net=NetConfig() if args.net else None,
-                           policy=args.policy)
+                           policy=args.policy,
+                           latency_breakdown=args.latency_breakdown,
+                           trace_requests=max(0, args.trace_requests))
     if args.scale == "paper":
         cfg = cfg.scaled(**PAPER_PROFILE)
 

@@ -178,7 +178,7 @@ class ArachneSystem(ColocationSystem):
             return
         state.kind = "serve"
         state.request = request
-        request.start_ns = self.sim.now
+        self.begin_service(request, core_id=state.core.id)
         self._window_busy[app.name] = (
             self._window_busy.get(app.name, 0) + request.service_ns
         )
@@ -187,6 +187,8 @@ class ArachneSystem(ColocationSystem):
 
     def _request_done(self, state: _CoreState, request: Request) -> None:
         request.app.complete(request, self.sim.now)
+        if self.flight.enabled:
+            self.flight.on_complete(request)
         state.request = None
         self._serve(state)
 

@@ -285,6 +285,8 @@ class CaladanSystem(ColocationSystem):
             remaining = state.core.preempt()
             request = state.request
             request.service_ns = max(1, remaining)
+            if self.flight.enabled:
+                self.flight.mark(request, "preempt", core=state.core.id)
             request.app.queue.appendleft(request)
             state.request = None
         elif state.core.busy:
@@ -319,7 +321,7 @@ class CaladanSystem(ColocationSystem):
             return
         state.kind = "serve"
         state.request = request
-        request.start_ns = self.sim.now
+        self.begin_service(request, core_id=state.core.id)
         state.core.run(f"app:{app.name}", self.effective_service_ns(request),
                        lambda: self._request_done(state, request))
 
@@ -327,14 +329,20 @@ class CaladanSystem(ColocationSystem):
         state.request = None
         if request.io_wait_ns > 0 and not request.io_done:
             request.io_done = True
+            if self.flight.enabled:
+                self.flight.mark(request, "io_park")
             self.sim.post(request.io_wait_ns, self._io_complete, request)
             self._serve(state)
             return
         request.app.complete(request, self.sim.now)
+        if self.flight.enabled:
+            self.flight.on_complete(request)
         self._serve(state)
 
     def _io_complete(self, request: Request) -> None:
         request.service_ns = max(1, request.post_io_service_ns)
+        if self.flight.enabled:
+            self.flight.mark(request, "io_done")
         request.app.queue.appendleft(request)
         self.on_arrival(request.app, request)
 

@@ -85,7 +85,7 @@ class IdealSystem(ColocationSystem):
         if self._pending:
             request = self._pending.popleft()
             state.kind = "L"
-            request.start_ns = self.sim.now
+            self.begin_service(request, core_id=state.core.id)
             state.core.run(f"app:{request.app.name}",
                            self.effective_service_ns(request),
                            lambda: self._done(state, request))
@@ -103,6 +103,8 @@ class IdealSystem(ColocationSystem):
 
     def _done(self, state: _CoreState, request: Request) -> None:
         request.app.complete(request, self.sim.now)
+        if self.flight.enabled:
+            self.flight.on_complete(request)
         state.kind = None
         self._fill(state)
 

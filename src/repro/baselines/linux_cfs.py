@@ -40,7 +40,7 @@ class _WorkerTask(CfsTask):
         if self._staged is not None:
             request = self._staged
             self._staged = None
-            request.start_ns = self.system.sim.now
+            self.system.begin_service(request)
             return Chunk(self.system.effective_service_ns(request),
                          f"app:{self.app.name}",
                          lambda: self._complete(request))
@@ -53,6 +53,8 @@ class _WorkerTask(CfsTask):
 
     def _complete(self, request: Request) -> None:
         request.app.complete(request, self.system.sim.now)
+        if self.system.flight.enabled:
+            self.system.flight.on_complete(request)
 
 
 class _BatchTask(CfsTask):

@@ -23,7 +23,9 @@ from repro.sim.trace import Tracer
 from repro.sim.units import MS
 from repro.hardware.machine import Machine
 from repro.net import NetConfig, NetFabric
+from repro.obs.flight import FlightRecorder, format_breakdown
 from repro.obs.ledger import OpLedger
+from repro.obs.timeseries import GaugeSeries
 from repro.hardware.timing import CostModel
 from repro.sched.base import ColocationSystem, SystemReport
 from repro.vessel.scheduler import VesselSystem
@@ -72,11 +74,22 @@ class ExperimentConfig:
     policy: Optional[str] = None
     #: constructor kwargs for the policy (e.g. MLFQ levels, priorities)
     policy_params: Dict = field(default_factory=dict)
+    #: print the per-app per-stage latency decomposition after each run
+    #: (turns the per-request FlightRecorder on)
+    latency_breakdown: bool = False
+    #: capture the K slowest requests' full flight-mark lists
+    trace_requests: int = 0
 
     @property
     def observability(self) -> bool:
         """True when a run needs a real (non-null) operation ledger."""
         return self.op_breakdown or self.trace_out is not None
+
+    @property
+    def flight_on(self) -> bool:
+        """True when a run records per-request flights (strictly opt-in:
+        default runs stay byte-identical with the recorder off)."""
+        return self.latency_breakdown or self.trace_requests > 0
 
     @property
     def measure_ns(self) -> int:
@@ -164,8 +177,15 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
         tracer = Tracer(sim) if cfg.trace_out is not None else None
         ledger = OpLedger(sim=sim, tracer=tracer,
                           capture_events=cfg.trace_out is not None)
+    flight = None
+    gauges = None
+    if cfg.flight_on:
+        flight = FlightRecorder(sim,
+                                reservoir_k=max(cfg.trace_requests, 4))
+        gauges = GaugeSeries(sim)
     machine = Machine(sim, cfg.costs, cfg.num_workers + 1,
-                      membus_gbps=cfg.membus_gbps, ledger=ledger)
+                      membus_gbps=cfg.membus_gbps, ledger=ledger,
+                      flight=flight)
     if tracer is not None:
         machine.attach_tracer(tracer)
     rngs = RngStreams(cfg.seed)
@@ -200,7 +220,7 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
     fabric = None
     if cfg.net is not None:
         fabric = NetFabric(sim, cfg.net, rngs, num_workers=len(workers),
-                           ledger=ledger)
+                           ledger=ledger, flight=flight)
     sources = []
     for kind, name, rate in l_specs:
         app, sampler = make_l_app(kind, name, rngs)
@@ -266,12 +286,19 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
         regulator.start()
     if setup_hook is not None:
         setup_hook(sim, machine, system)
+    if gauges is not None:
+        _wire_gauges(gauges, system, workers, fabric, admission_ctl)
+        gauges.start()
 
     sim.at(cfg.warmup_ms * MS, system.begin_measurement)
     if fabric is not None:
         sim.at(cfg.warmup_ms * MS, fabric.begin_measurement)
     if admission_ctl is not None:
         sim.at(cfg.warmup_ms * MS, admission_ctl.begin_measurement)
+    if flight is not None:
+        sim.at(cfg.warmup_ms * MS, flight.begin_measurement)
+        if gauges is not None:
+            sim.at(cfg.warmup_ms * MS, gauges.begin_measurement)
     sim.run(until=cfg.sim_ms * MS)
     if ledger is not None:
         if cfg.op_breakdown:
@@ -279,10 +306,37 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
                   f"(measurement window)")
             print(ledger.breakdown_table())
         if cfg.trace_out is not None:
-            ledger.write_chrome_trace(cfg.trace_out)
+            ledger.write_chrome_trace(cfg.trace_out, flight=flight,
+                                      gauges=gauges)
             print(f"[{system_name}] wrote Chrome trace to {cfg.trace_out}")
     report = system.report()
     report.events_fired = sim.events_fired
+    if flight is not None:
+        report.latency_stages = flight.stage_summaries()
+        report.flight_counts = flight.outcome_counts()
+        report.slow_traces = flight.slowest_traces()
+        report.flight_audit = flight.audit() \
+            + _flight_conservation(flight, fabric, system)
+        if gauges is not None:
+            report.gauges = gauges.summary()
+        if cfg.latency_breakdown:
+            samples = _authoritative_samples(fabric, system)
+            print(format_breakdown(system_name, report.latency_stages,
+                                   client_samples=samples))
+            if report.flight_audit:
+                print(f"[{system_name}] TRACE AUDIT FAILED:")
+                for violation in report.flight_audit:
+                    print(f"  {violation}")
+        if cfg.trace_requests > 0:
+            shown = report.slow_traces[:cfg.trace_requests]
+            print(f"[{system_name}] {len(shown)} slowest requests:")
+            for trace in shown:
+                path = " -> ".join(
+                    f"{label}@{ts}" + (f"/c{core}" if core is not None
+                                       else "")
+                    for label, ts, core in trace["marks"])
+                print(f"  {trace['app']} "
+                      f"{trace['total_ns'] / 1000.0:.1f}us: {path}")
     if fabric is not None:
         for name, recorder in fabric.client_latency.items():
             report.client_latency[name] = summarize_ns(recorder.samples)
@@ -304,6 +358,76 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
     if policy_obj is not None and hasattr(policy_obj, "scaling_snapshot"):
         report.autoscale = policy_obj.scaling_snapshot()
     return report
+
+
+def _wire_gauges(gauges, system, workers, fabric, admission_ctl) -> None:
+    """Register the standard system-state probes on ``gauges``.
+
+    Probes are pure reads over components that already exist, so the
+    sampled run differs from an unsampled one only by the tick events.
+    """
+    gauges.add_probe(
+        "busy_cores",
+        lambda: sum(1 for core in workers if core.busy))
+    for app in system.apps:
+        if app.is_latency:
+            gauges.add_probe(f"queue:{app.name}",
+                             lambda a=app: len(a.queue))
+    if fabric is not None:
+        gauges.add_probe(
+            "net_inflight",
+            lambda: sum(fabric.inflight.values()))
+    if admission_ctl is not None:
+        last_shed = [0]
+
+        def _shed_rate() -> int:
+            total = admission_ctl.total_shed()
+            delta = total - last_shed[0]
+            last_shed[0] = total
+            # begin_measurement resets the counter mid-run; clamp the
+            # one negative delta that produces.
+            return max(0, delta)
+
+        gauges.add_probe("shed_per_tick", _shed_rate)
+    policy = getattr(system, "policy", None)
+    if policy is not None and hasattr(policy, "be_allowed"):
+        gauges.add_probe(
+            "be_core_cap",
+            lambda: -1 if policy.be_allowed is None else policy.be_allowed)
+
+
+def _authoritative_samples(fabric, system) -> Dict[str, List[int]]:
+    """Per-app latency samples of the independent (non-flight) recorder:
+    client-observed when a fabric ran, server-side otherwise."""
+    if fabric is not None:
+        return {name: recorder.samples
+                for name, recorder in fabric.client_latency.items()}
+    return {app.name: app.latency.samples
+            for app in system.apps if app.is_latency}
+
+
+def _flight_conservation(flight, fabric, system) -> List[str]:
+    """Cross-check flight aggregates against the independent recorders.
+
+    Every ``done`` flight must correspond one-to-one with a sample of
+    the authoritative latency recorder, with *exactly* equal integer
+    sums — the span-conservation half of the trace-invariant audit (the
+    other half, NetFabric's offered/completed/in-flight identity, is
+    checked by ``report.net_conservation``).
+    """
+    violations: List[str] = []
+    for name, samples in sorted(_authoritative_samples(fabric,
+                                                       system).items()):
+        totals = flight.done_totals(name)
+        if len(totals) != len(samples):
+            violations.append(
+                f"{name}: {len(totals)} done flights but "
+                f"{len(samples)} recorded latencies")
+        elif sum(totals) != sum(samples):
+            violations.append(
+                f"{name}: flight latency sum {sum(totals)} != "
+                f"recorded sum {sum(samples)}")
+    return violations
 
 
 # ----------------------------------------------------------------------
@@ -419,11 +543,20 @@ def parse_profile(argv: Optional[List[str]] = None) -> ExperimentConfig:
                         help="scheduling policy for VESSEL runs "
                              "(default/mlfq/sjf/trust-group/priority; "
                              "see 'python -m repro policies')")
+    parser.add_argument("--latency-breakdown", action="store_true",
+                        help="record per-request flights and print the "
+                             "per-app per-stage latency decomposition")
+    parser.add_argument("--trace-requests", type=int, default=0,
+                        metavar="K",
+                        help="capture and print the K slowest requests' "
+                             "full stage-span lists")
     args = parser.parse_args(argv)
     cfg = ExperimentConfig(seed=args.seed, op_breakdown=args.op_breakdown,
                            trace_out=args.trace_out,
                            net=NetConfig() if args.net else None,
-                           jobs=max(1, args.jobs), policy=args.policy)
+                           jobs=max(1, args.jobs), policy=args.policy,
+                           latency_breakdown=args.latency_breakdown,
+                           trace_requests=max(0, args.trace_requests))
     if args.scale == "paper":
         cfg = cfg.scaled(**PAPER_PROFILE)
     return cfg

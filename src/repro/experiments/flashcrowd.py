@@ -155,11 +155,19 @@ def cli_main(argv: Optional[List[str]] = None) -> int:
                         help="CI-sized run + deterministic-rerun gate")
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--jobs", "-j", type=int, default=1)
+    parser.add_argument("--latency-breakdown", action="store_true",
+                        help="record per-request flights and print the "
+                             "per-stage latency decomposition per arm")
+    parser.add_argument("--trace-requests", type=int, default=0,
+                        metavar="K",
+                        help="print the K slowest requests' stage spans")
     args = parser.parse_args(argv)
     if args.smoke:
         cfg = smoke_config(seed=args.seed, jobs=max(1, args.jobs))
     else:
         cfg = ExperimentConfig(seed=args.seed, jobs=max(1, args.jobs))
+    cfg = cfg.scaled(latency_breakdown=args.latency_breakdown,
+                     trace_requests=max(0, args.trace_requests))
     results = main(cfg)
     if args.smoke:
         if _fingerprint(run(cfg)) != _fingerprint(results):

@@ -155,16 +155,21 @@ class Machine:
 
     def __init__(self, sim: Simulator, costs: CostModel, num_cores: int,
                  membus_gbps: float = 40.0,
-                 ledger: Optional[OpLedger] = None) -> None:
+                 ledger: Optional[OpLedger] = None,
+                 flight=None) -> None:
         from repro.hardware.ipi import IpiController
         from repro.hardware.membus import MemoryBus
         from repro.hardware.uintr import UintrController
+        from repro.obs.flight import NULL_FLIGHT
 
         if num_cores <= 0:
             raise ValueError(f"num_cores must be positive: {num_cores}")
         self.sim = sim
         self.costs = costs
         self.ledger = ledger or NULL_LEDGER
+        #: per-request lifecycle recorder; systems built on this machine
+        #: pick it up at construction time (NULL_FLIGHT records nothing)
+        self.flight = flight or NULL_FLIGHT
         self.cores: List[Core] = [Core(sim, i) for i in range(num_cores)]
         self.uintr = UintrController(sim, costs, ledger=self.ledger)
         self.ipi = IpiController(sim, costs, ledger=self.ledger)

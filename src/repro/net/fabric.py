@@ -28,6 +28,7 @@ from repro.net.client import ClientMachine, _ClientWorkload
 from repro.net.config import NetConfig
 from repro.net.link import Link
 from repro.net.nic import Nic
+from repro.obs.flight import NULL_FLIGHT
 from repro.obs.ledger import NULL_LEDGER, OpLedger
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
@@ -45,11 +46,13 @@ class NetFabric:
 
     def __init__(self, sim: Simulator, cfg: NetConfig, rngs: RngStreams,
                  num_workers: int,
-                 ledger: Optional[OpLedger] = None) -> None:
+                 ledger: Optional[OpLedger] = None,
+                 flight=None) -> None:
         self.sim = sim
         self.cfg = cfg
         self.rngs = rngs
         self.ledger = ledger or NULL_LEDGER
+        self.flight = flight or NULL_FLIGHT
         self.link_in = Link(sim, "clients->server", cfg.gbps,
                             cfg.propagation_ns, ledger=self.ledger,
                             on_drop=self._on_drop)
@@ -132,10 +135,14 @@ class NetFabric:
     # ------------------------------------------------------------------
     def send_to_server(self, request: Request) -> None:
         request.on_complete = self._server_done
+        if self.flight.enabled:
+            self.flight.begin(request)
         self.link_in.send(request, request.bytes_in + self.cfg.header_bytes,
                           self._nic_rx)
 
     def _nic_rx(self, request: Request) -> None:
+        if self.flight.enabled:
+            self.flight.mark(request, "ingress")
         if self.admission is not None:
             reason = self.admission.reason_to_shed(request.app,
                                                    self.sim.now)
@@ -156,12 +163,23 @@ class NetFabric:
 
     def _server_done(self, request: Request, now: int) -> None:
         """App.complete hook: ship the response back to its client."""
+        # The "complete" mark lands here (not in the system's
+        # ``flight.on_complete``) so a fault-injected drop inside
+        # ``link_out.send`` finalizes a flight whose last mark is
+        # already "complete" — the net_out stage exists even for
+        # responses the link loses.
+        if self.flight.enabled:
+            self.flight.mark(request, "complete")
         self.link_out.send(request,
                            request.bytes_out + self.cfg.header_bytes,
                            self._deliver_response)
 
     def _deliver_response(self, request: Request) -> None:
-        request.net_token.machine.on_response(request)
+        pending = request.net_token
+        outcome = "dup" if pending.done else "done"
+        pending.machine.on_response(request)
+        if self.flight.enabled:
+            self.flight.finalize(request, outcome)
 
     def shed_response(self, request: Request) -> None:
         """Admission control rejected ``request``; tell its client.
@@ -171,6 +189,8 @@ class NetFabric:
         accounting (``sheds`` counter, ``shed_response`` op) is exact.
         """
         self.bump(request.app.name, "sheds", op="shed_response")
+        if self.flight.enabled:
+            self.flight.mark(request, "shed")
         self.link_out.send(request, self.cfg.header_bytes,
                            self._deliver_shed)
 
@@ -178,12 +198,16 @@ class NetFabric:
         pending = request.net_token
         if pending is not None:
             pending.machine.on_shed(request)
+        if self.flight.enabled:
+            self.flight.finalize(request, "shed")
 
     def _on_drop(self, request: Request) -> None:
         """A link or NIC ring lost this packet; tell the owning client."""
         pending = request.net_token
         if pending is not None:
             pending.machine.on_drop(request)
+        if self.flight.enabled:
+            self.flight.finalize(request, "drop")
 
     # ------------------------------------------------------------------
     # Accounting

@@ -1,5 +1,10 @@
-"""Observability: the instrumented operation ledger (see ledger.py)."""
+"""Observability: op ledger, per-request flight recorder, gauge series."""
 
 from repro.obs.ledger import NULL_LEDGER, NullLedger, OpLedger
+from repro.obs.flight import (NULL_FLIGHT, FlightRecorder,
+                              NullFlightRecorder)
+from repro.obs.timeseries import GaugeSeries
 
-__all__ = ["OpLedger", "NullLedger", "NULL_LEDGER"]
+__all__ = ["OpLedger", "NullLedger", "NULL_LEDGER",
+           "FlightRecorder", "NullFlightRecorder", "NULL_FLIGHT",
+           "GaugeSeries"]

@@ -279,13 +279,19 @@ class OpLedger:
                                    for i in range(len(headers))))
         return "\n".join(lines)
 
-    def chrome_trace(self, tracer=None) -> Dict[str, Any]:
+    def chrome_trace(self, tracer=None, flight=None,
+                     gauges=None) -> Dict[str, Any]:
         """Chrome ``trace_event`` JSON (as a dict) of spans and op charges.
 
         Core spans (from ``tracer`` or the attached one) become complete
         ("X") events under pid 0; captured ledger charges become "X"
         events under pid 1, one tid per core (-1 for uncored charges).
-        Timestamps and durations are microseconds, as the format requires.
+        A :class:`~repro.obs.flight.FlightRecorder` adds its slowest
+        requests' stage spans under pid 2 and a
+        :class:`~repro.obs.timeseries.GaugeSeries` its counter tracks
+        under pid 3, so one Perfetto timeline correlates cores, ops,
+        request decompositions and system gauges.  Timestamps and
+        durations are microseconds, as the format requires.
         """
         tracer = tracer if tracer is not None else self.tracer
         trace_events: List[Dict[str, Any]] = [
@@ -309,11 +315,17 @@ class OpLedger:
                 "pid": 1, "tid": core if core is not None else -1,
                 "args": {"cost_ns": cost},
             })
+        if flight is not None:
+            trace_events.extend(flight.chrome_events(pid=2))
+        if gauges is not None:
+            trace_events.extend(gauges.chrome_events(pid=3))
         return {"traceEvents": trace_events, "displayTimeUnit": "ns"}
 
-    def write_chrome_trace(self, path: str, tracer=None) -> None:
+    def write_chrome_trace(self, path: str, tracer=None, flight=None,
+                           gauges=None) -> None:
         with open(path, "w") as handle:
-            json.dump(self.chrome_trace(tracer), handle)
+            json.dump(self.chrome_trace(tracer, flight=flight,
+                                        gauges=gauges), handle)
 
 
 class ChargeHandle:

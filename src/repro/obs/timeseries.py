@@ -1,0 +1,102 @@
+"""Fixed-tick gauge sampling for system-state time series.
+
+The flight recorder (``repro.obs.flight``) explains *one request's*
+latency; the :class:`GaugeSeries` explains the *system state it flew
+through*: queue depths, busy cores, the autoscaler's BE-core cap,
+requests in flight on the fabric, and the shed rate, all sampled on one
+deterministic tick so a Perfetto counter track lines up with the request
+spans.
+
+Probes are zero-argument callables registered by the experiment harness
+(:func:`repro.experiments.common.run_colocation`); they must be pure
+reads — sampling adds simulator events but never changes component
+state, so runs differ from unsampled ones only by the tick events
+themselves.  The series is only constructed when flight recording is on,
+keeping default runs byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+
+class GaugeSeries:
+    """Samples named gauges every ``tick_ns`` of simulated time."""
+
+    def __init__(self, sim, tick_ns: int = 50_000,
+                 max_samples: int = 100_000) -> None:
+        if tick_ns <= 0:
+            raise ValueError(f"tick_ns must be positive: {tick_ns}")
+        self.sim = sim
+        self.tick_ns = tick_ns
+        self.max_samples = max_samples
+        self._probes: List[Tuple[str, Callable[[], float]]] = []
+        #: name -> [(ts_ns, value), ...]
+        self.samples: Dict[str, List[Tuple[int, float]]] = {}
+        self.samples_dropped = 0
+        self._started = False
+
+    def add_probe(self, name: str, probe: Callable[[], float]) -> None:
+        if any(existing == name for existing, _ in self._probes):
+            raise ValueError(f"duplicate gauge {name!r}")
+        self._probes.append((name, probe))
+        self.samples[name] = []
+
+    def start(self) -> None:
+        """Begin ticking (call once, after all probes are registered)."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.post(self.tick_ns, self._tick)
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        for name, probe in self._probes:
+            series = self.samples[name]
+            if len(series) < self.max_samples:
+                series.append((now, float(probe())))
+            else:
+                self.samples_dropped += 1
+        self.sim.post(self.tick_ns, self._tick)
+
+    # ------------------------------------------------------------------
+    def begin_measurement(self) -> None:
+        """Drop warmup-phase samples (the tick keeps running)."""
+        for series in self.samples.values():
+            series.clear()
+        self.samples_dropped = 0
+
+    def names(self) -> List[str]:
+        return [name for name, _ in self._probes]
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-gauge min/avg/max/last over the measurement window."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, _ in self._probes:
+            series = self.samples[name]
+            if not series:
+                out[name] = {"count": 0}
+                continue
+            values = [v for _, v in series]
+            out[name] = {
+                "count": len(values),
+                "min": min(values),
+                "avg": sum(values) / len(values),
+                "max": max(values),
+                "last": values[-1],
+            }
+        return out
+
+    def chrome_events(self, pid: int = 3) -> List[Dict[str, Any]]:
+        """Chrome ``trace_event`` counter ("C") rows, one track per gauge."""
+        events: List[Dict[str, Any]] = [
+            {"ph": "M", "pid": pid, "name": "process_name",
+             "args": {"name": "gauges"}},
+        ]
+        for name, _ in self._probes:
+            for ts, value in self.samples[name]:
+                events.append({
+                    "name": name, "ph": "C", "pid": pid,
+                    "ts": ts / 1000.0, "args": {"value": value},
+                })
+        return events

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.obs.flight import NULL_FLIGHT
 from repro.obs.ledger import NULL_LEDGER, OpLedger
 from repro.sim.engine import Simulator
 from repro.sim.units import US
@@ -64,6 +65,7 @@ class AdmissionControl:
         self.ledger = ledger or NULL_LEDGER
         self.system = None
         self._inner_submit = None
+        self.flight = NULL_FLIGHT
         #: per-app admitted-request count (submit boundary)
         self.admitted: Dict[str, int] = {}
         #: per-app shed counts keyed by watermark reason
@@ -85,6 +87,7 @@ class AdmissionControl:
         self._inner_submit = system.submit
         system.submit = self.submit
         system.admission = self
+        self.flight = system.flight
 
     # ------------------------------------------------------------------
     def reason_to_shed(self, app: App, now: int) -> Optional[str]:
@@ -110,6 +113,8 @@ class AdmissionControl:
             return
         if app.is_latency:
             self.admitted[app.name] = self.admitted.get(app.name, 0) + 1
+            if self.flight.enabled:
+                self.flight.mark(request, "admit")
         self._inner_submit(request)
 
     def count_shed(self, app_name: str, reason: str, stage: str) -> None:
@@ -128,6 +133,11 @@ class AdmissionControl:
             fabric = getattr(self.system, "net_fabric", None)
             if fabric is not None:
                 fabric.shed_response(request)
+        elif self.flight.enabled:
+            # Direct-submit rejections have no response leg to ride: the
+            # flight terminates at the shed decision itself.
+            self.flight.mark(request, "shed")
+            self.flight.finalize(request, "shed")
 
     # ------------------------------------------------------------------
     def begin_measurement(self) -> None:

@@ -131,11 +131,14 @@ class SloAutoscalePolicy(SchedPolicy):
         worst = self.worst_p99_ns()
         if worst is None:
             return
+        ledger = getattr(self.ctx, "ledger", None)
         if worst > self.slo_p99_ns:
             self._calm_streak = 0
             if self.be_allowed > self.min_be_cores:
                 self.be_allowed -= 1
                 self.harvests += 1
+                if ledger is not None and ledger.enabled:
+                    ledger.count_op("autoscale:harvest", domain="policy")
                 yield from self._evict_excess_be()
         elif worst < self.low_watermark * self.slo_p99_ns:
             self._calm_streak += 1
@@ -143,6 +146,8 @@ class SloAutoscalePolicy(SchedPolicy):
                     and self.be_allowed < self._total_cores:
                 self.be_allowed += 1
                 self.returns += 1
+                if ledger is not None and ledger.enabled:
+                    ledger.count_op("autoscale:return", domain="policy")
                 self._calm_streak = 0
         else:
             self._calm_streak = 0
@@ -167,6 +172,10 @@ class SloAutoscalePolicy(SchedPolicy):
                 if len(app_state.app.queue) >= backlog:
                     incoming = app_state.parked[0]
                     backlog = len(app_state.app.queue)
+            ledger = getattr(self.ctx, "ledger", None)
+            if ledger is not None and ledger.enabled:
+                ledger.count_op("autoscale:cap_preempt",
+                                core=core_state.core.id, domain="policy")
             yield Preempt(core_state.core.id, core_state.thread, incoming)
             excess -= 1
 

@@ -141,6 +141,31 @@ def _kernel_colo_net(seed: int) -> Tuple[int, str]:
     return _colocation("vessel", seed, net=True)
 
 
+def _kernel_flight_overhead(seed: int) -> Tuple[int, str]:
+    """colo-net with the per-request flight recorder turned on.
+
+    Prices the observability layer: same workload as colo-net, but every
+    request carries lifecycle marks, gauges sample on a tick, and
+    finalization folds stage durations into aggregates.  The delta
+    against colo-net is the full cost of ``--latency-breakdown``; the
+    tracing-*off* cost is priced by colo-net itself staying flat
+    (hot paths only test one ``flight.enabled`` bool).
+    """
+    import contextlib
+    import io
+
+    from repro.experiments.common import ExperimentConfig, run_colocation
+    from repro.net import NetConfig
+
+    cfg = ExperimentConfig(seed=seed, net=NetConfig(), trace_requests=4)
+    with contextlib.redirect_stdout(io.StringIO()):
+        report = run_colocation(
+            "vessel", cfg,
+            l_specs=[("memcached", "memcached", 2.0)],
+            b_specs=("linpack",))
+    return report.events_fired, "events"
+
+
 def _kernel_churn_cycle(seed: int) -> Tuple[int, str]:
     """uProcess create/serve/destroy cycles against a running system.
 
@@ -183,12 +208,13 @@ KERNELS: Dict[str, Callable[[int], Tuple[int, str]]] = {
     "policy-dispatch": _kernel_policy_dispatch,
     "colo-caladan": _kernel_colo_caladan,
     "colo-net": _kernel_colo_net,
+    "flight-overhead": _kernel_flight_overhead,
     "churn-cycle": _kernel_churn_cycle,
 }
 
 #: the cheap subset the CI bench job runs (fails on >25 % regression)
 SMOKE_KERNELS = ("engine-churn", "switch-pingpong", "colo-vessel",
-                 "policy-dispatch", "churn-cycle")
+                 "policy-dispatch", "flight-overhead", "churn-cycle")
 
 
 def _calibrate() -> float:

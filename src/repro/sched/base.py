@@ -73,6 +73,21 @@ class SystemReport:
     net_conservation: Dict[str, Dict[str, int]] = field(default_factory=dict)
     #: autoscaler controller state (SloAutoscalePolicy.scaling_snapshot)
     autoscale: Dict = field(default_factory=dict)
+    #: per L-app server-side queue-wait summaries (arrival to first
+    #: service start; summarize_ns output)
+    queue_wait: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: per-app per-stage latency decomposition
+    #: (FlightRecorder.stage_summaries), when flight recording was on
+    latency_stages: Dict[str, Dict] = field(default_factory=dict)
+    #: per-app flight outcome counts (done/dup/shed/drop)
+    flight_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: trace-invariant audit violations (empty == clean), when flight
+    #: recording was on
+    flight_audit: List[str] = field(default_factory=list)
+    #: gauge time-series summaries (GaugeSeries.summary), when sampled
+    gauges: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: the K slowest completed flights (FlightRecorder.slowest_traces)
+    slow_traces: List[Dict] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def throughput_mops(self, app_name: str) -> float:
@@ -144,6 +159,9 @@ class ColocationSystem:
         #: every system charges operations into the machine's ledger so
         #: per-op breakdowns line up with the hardware-level charges
         self.ledger = machine.ledger
+        #: per-request lifecycle recorder (NULL_FLIGHT when tracing is
+        #: off; hot paths guard with ``if self.flight.enabled:``)
+        self.flight = machine.flight
         self.rngs = rngs
         #: cores running application work; by convention core 0 is
         #: reserved for the system's scheduler / IOKernel when the system
@@ -177,11 +195,28 @@ class ColocationSystem:
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> None:
         """Open-loop intake; subclasses react in ``on_arrival``."""
+        if self.flight.enabled:
+            self.flight.on_submit(request)
         request.app.enqueue(request)
         self.on_arrival(request.app, request)
 
     def on_arrival(self, app: App, request: Request) -> None:
         raise NotImplementedError
+
+    def begin_service(self, request: Request,
+                      core_id: Optional[int] = None) -> None:
+        """A core begins (or resumes, after preempt/IO) serving a request.
+
+        The one chokepoint every system's dispatch path goes through:
+        stamps ``start_ns``, records server-side queue wait on the
+        *first* start only, and marks the flight's ``run_start``.
+        """
+        now = self.sim.now
+        if request.start_ns is None:
+            request.app.queue_wait.record(now - request.arrival_ns)
+        request.start_ns = now
+        if self.flight.enabled:
+            self.flight.mark(request, "run_start", core=core_id)
 
     def effective_service_ns(self, request: Request) -> int:
         """Service time inflated by current memory-bus contention."""
@@ -228,6 +263,8 @@ class ColocationSystem:
         for app in self.apps:
             if app.is_latency:
                 rep.latency[app.name] = summarize_ns(app.latency.samples)
+                rep.queue_wait[app.name] = summarize_ns(
+                    app.queue_wait.samples)
                 rep.completed[app.name] = app.completed.value
             else:
                 rep.useful_ns[app.name] = app.useful_ns

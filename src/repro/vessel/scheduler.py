@@ -132,6 +132,12 @@ class PolicyContext:
     def now(self) -> int:
         return self._system.sim.now
 
+    @property
+    def ledger(self):
+        """The mechanism's op ledger, for charging policy-side control
+        actions (read ``ledger.enabled`` before building arguments)."""
+        return self._system.ledger
+
     def core_states(self):
         """Per-core states, in the fixed worker-core order."""
         return self._system._cores.values()
@@ -563,6 +569,8 @@ class VesselSystem(ColocationSystem):
         request = state.request
         remaining = state.core.preempt()
         request.service_ns = max(1, remaining)
+        if self.flight.enabled:
+            self.flight.mark(request, "preempt", core=state.core.id)
         request.app.queue.appendleft(request)
         state.request = None
         self.preemptions += 1
@@ -703,6 +711,9 @@ class VesselSystem(ColocationSystem):
                 # An in-flight request survives the forced switch: its
                 # unfinished service returns to the front of its queue.
                 state.request.service_ns = max(1, remaining)
+                if self.flight.enabled:
+                    self.flight.mark(state.request, "preempt",
+                                     core=state.core.id)
                 state.request.app.queue.appendleft(state.request)
         state.thread = None
         state.request = None
@@ -864,7 +875,7 @@ class VesselSystem(ColocationSystem):
             self._park_thread(state, requeue=False)
             return
         state.request = request
-        request.start_ns = self.sim.now
+        self.begin_service(request, core_id=state.core.id)
         state.core.run(f"app:{app.name}", self.effective_service_ns(request),
                        lambda: self._request_done(state, request))
 
@@ -875,10 +886,14 @@ class VesselSystem(ColocationSystem):
             # through the runtime's dataplane while this core serves
             # other threads; the completion re-queues the CPU tail.
             request.io_done = True
+            if self.flight.enabled:
+                self.flight.mark(request, "io_park")
             self.sim.post(request.io_wait_ns, self._io_complete, request)
             self._serve_next(state)
             return
         request.app.complete(request, self.sim.now)
+        if self.flight.enabled:
+            self.flight.on_complete(request)
         self.policy.on_request_done(state, request)
         self._serve_next(state)
 
@@ -887,6 +902,8 @@ class VesselSystem(ColocationSystem):
         if state is None:
             return  # app destroyed while the IO was in flight
         request.service_ns = max(1, request.post_io_service_ns)
+        if self.flight.enabled:
+            self.flight.mark(request, "io_done")
         request.app.queue.appendleft(request)
         self._dispatch_app(state)
 

@@ -45,7 +45,7 @@ class Request:
     __slots__ = ("app", "arrival_ns", "service_ns", "conn_id", "start_ns",
                  "io_wait_ns", "post_io_service_ns", "io_done",
                  "client_send_ns", "bytes_in", "bytes_out", "on_complete",
-                 "net_token")
+                 "net_token", "flight")
 
     def __init__(self, app: "App", arrival_ns: int, service_ns: int,
                  conn_id: int = 0) -> None:
@@ -63,6 +63,8 @@ class Request:
         self.on_complete = None
         #: opaque client-side identity (shared across retransmissions)
         self.net_token = None
+        #: lifecycle marks list, created by an enabled FlightRecorder
+        self.flight = None
 
     def latency_ns(self, completion_ns: int) -> int:
         if self.client_send_ns is not None:
@@ -86,6 +88,8 @@ class App:
         self.offered = Counter(f"{name}/offered")
         self.completed = Counter(f"{name}/completed")
         self.latency = LatencyRecorder(f"{name}/latency")
+        #: server-side queueing delay (arrival to first service start)
+        self.queue_wait = LatencyRecorder(f"{name}/queue_wait")
         #: pending requests, oldest first (the dataplane/NIC queue)
         self.queue: Deque[Request] = deque()
         #: nanoseconds of useful batch work executed (B-apps)
@@ -122,6 +126,7 @@ class App:
         self.offered.clear()
         self.completed.clear()
         self.latency.clear()
+        self.queue_wait.clear()
         self.useful_ns = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

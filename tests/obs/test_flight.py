@@ -1,0 +1,326 @@
+"""Flight recorder: stage derivation, invariant audit, system wiring."""
+
+import pytest
+
+from repro.obs.flight import (NULL_FLIGHT, FlightRecorder,
+                              NullFlightRecorder, STAGE_AFTER, STAGE_ORDER,
+                              format_breakdown)
+
+
+class _Sim:
+    def __init__(self):
+        self.now = 0
+
+
+class _App:
+    def __init__(self, name="a"):
+        self.name = name
+
+
+class _Req:
+    def __init__(self, app, net_token=None):
+        self.app = app
+        self.flight = None
+        self.net_token = net_token
+
+
+def _recorder(**kwargs):
+    return FlightRecorder(_Sim(), **kwargs)
+
+
+def _fly(rec, req, *stops):
+    """Stamp (label, ts[, core]) stops onto ``req``."""
+    for stop in stops:
+        label, ts = stop[0], stop[1]
+        rec.sim.now = ts
+        rec.mark(req, label, core=stop[2] if len(stop) > 2 else None)
+
+
+# ----------------------------------------------------------------------
+# Stage derivation and telescoping
+# ----------------------------------------------------------------------
+def test_stage_durations_telescope_to_total():
+    rec = _recorder()
+    req = _Req(_App("mc"), net_token=object())
+    _fly(rec, req,
+         ("client_send", 0), ("ingress", 500), ("admit", 600),
+         ("submit", 600), ("run_start", 1_000, 2), ("complete", 2_000))
+    rec.sim.now = 2_500
+    rec.finalize(req, "done")
+    assert req.flight is None
+    assert rec.audit() == []
+    summary = rec.stage_summaries()["mc"]
+    assert summary["total_sum_ns"] == 2_500
+    assert summary["stage_sum_ns"] == 2_500
+    stages = summary["stages"]
+    assert stages["net_in"]["sum_ns"] == 500
+    assert stages["nic_ring"]["sum_ns"] == 100
+    assert stages["sched_queue"]["sum_ns"] == 400  # admit->submit is 0
+    assert stages["service"]["sum_ns"] == 1_000
+    assert stages["net_out"]["sum_ns"] == 500
+    assert rec.done_totals("mc") == [2_500]
+
+
+def test_preempt_and_io_stages_split_the_service_time():
+    rec = _recorder()
+    req = _Req(_App("silo"))
+    _fly(rec, req,
+         ("submit", 0), ("run_start", 100, 0), ("preempt", 200, 0),
+         ("run_start", 350, 1), ("io_park", 400, 1), ("io_done", 900),
+         ("run_start", 950, 0))
+    rec.sim.now = 1_000
+    rec.on_complete(req)  # direct submit: marks complete + finalizes
+    assert rec.audit() == []
+    stages = rec.stage_summaries()["silo"]["stages"]
+    assert stages["service"]["sum_ns"] == 100 + 50 + 50
+    assert stages["preempt_wait"]["sum_ns"] == 150
+    assert stages["io_wait"]["sum_ns"] == 500
+    assert stages["sched_queue"]["sum_ns"] == 100 + 50
+    assert rec.stage_summaries()["silo"]["stage_sum_ns"] == 1_000
+
+
+def test_every_label_opens_a_stage():
+    # A label outside STAGE_AFTER would silently break telescoping.
+    assert set(STAGE_AFTER.values()) <= set(STAGE_ORDER)
+
+
+def test_zero_duration_stages_keep_the_sum_exact():
+    rec = _recorder()
+    req = _Req(_App("mc"))
+    _fly(rec, req, ("submit", 100), ("run_start", 100, 0))
+    rec.sim.now = 300
+    rec.on_complete(req)
+    summary = rec.stage_summaries()["mc"]
+    assert "sched_queue" not in summary["stages"]  # zero-length, skipped
+    assert summary["stage_sum_ns"] == summary["total_sum_ns"] == 200
+
+
+# ----------------------------------------------------------------------
+# Outcomes
+# ----------------------------------------------------------------------
+def test_shed_drop_dup_counted_but_not_aggregated():
+    rec = _recorder()
+    app = _App("mc")
+    shed = _Req(app, net_token=object())
+    _fly(rec, shed, ("client_send", 0), ("ingress", 10), ("shed", 20))
+    rec.sim.now = 30
+    rec.finalize(shed, "shed")
+    dropped = _Req(app, net_token=object())
+    _fly(rec, dropped, ("client_send", 40))
+    rec.sim.now = 50
+    rec.finalize(dropped, "drop")
+    assert rec.outcome_counts() == {"mc": {"drop": 1, "shed": 1}}
+    assert rec.audit() == []
+    assert rec.stage_summaries() == {}  # only "done" flights aggregate
+
+
+def test_finalize_is_idempotent_and_marks_after_are_ignored():
+    rec = _recorder()
+    req = _Req(_App("mc"))
+    _fly(rec, req, ("submit", 0), ("run_start", 10, 0))
+    rec.sim.now = 20
+    rec.on_complete(req)
+    rec.finalize(req, "drop")  # already finalized: no second outcome
+    rec.on_complete(req)
+    assert rec.outcome_counts() == {"mc": {"done": 1}}
+
+
+def test_on_complete_leaves_net_requests_to_the_fabric():
+    rec = _recorder()
+    req = _Req(_App("mc"), net_token=object())
+    _fly(rec, req, ("client_send", 0), ("ingress", 10), ("submit", 20),
+         ("run_start", 30, 0))
+    rec.on_complete(req)
+    assert req.flight is not None  # still open: fabric finalizes it
+    assert rec.outcome_counts() == {}
+
+
+# ----------------------------------------------------------------------
+# Audit
+# ----------------------------------------------------------------------
+def test_illegal_transition_is_flagged():
+    rec = _recorder()
+    req = _Req(_App("mc"))
+    _fly(rec, req, ("submit", 0), ("complete", 10))  # skipped run_start
+    rec.sim.now = 10
+    rec.finalize(req, "done")
+    assert any("illegal transition submit -> complete" in v
+               for v in rec.audit())
+
+
+def test_non_monotonic_marks_are_flagged():
+    rec = _recorder()
+    req = _Req(_App("mc"))
+    _fly(rec, req, ("submit", 100), ("run_start", 50, 0),
+         ("complete", 200))
+    rec.sim.now = 200
+    rec.finalize(req, "done")
+    assert any("non-monotonic" in v for v in rec.audit())
+
+
+def test_overlapping_service_segments_are_flagged():
+    rec = _recorder()
+    for start in (0, 50):  # second run overlaps the first on core 1
+        req = _Req(_App("mc"))
+        _fly(rec, req, ("submit", start), ("run_start", start, 1))
+        rec.sim.now = start + 100
+        rec.on_complete(req)
+    assert any("overlapping service segments" in v for v in rec.audit())
+
+
+def test_disjoint_segments_on_different_cores_are_clean():
+    rec = _recorder()
+    for start, core in ((0, 1), (50, 2), (100, 1)):
+        req = _Req(_App("mc"))
+        _fly(rec, req, ("submit", start), ("run_start", start, core))
+        rec.sim.now = start + 40
+        rec.on_complete(req)
+    assert rec.audit() == []
+
+
+def test_violation_flood_is_capped():
+    rec = _recorder()
+    for i in range(60):
+        req = _Req(_App("mc"))
+        _fly(rec, req, ("submit", i), ("complete", i + 1))
+        rec.sim.now = i + 1
+        rec.finalize(req, "done")
+    violations = rec.audit()
+    assert len(violations) == 51  # 50 stored + the "... and N more" line
+    assert "more violations" in violations[-1]
+
+
+# ----------------------------------------------------------------------
+# Reservoir and measurement window
+# ----------------------------------------------------------------------
+def test_reservoir_keeps_the_k_slowest():
+    rec = _recorder(reservoir_k=2)
+    for i, total in enumerate((300, 100, 900, 500)):
+        req = _Req(_App("mc"))
+        base = i * 10_000
+        _fly(rec, req, ("submit", base), ("run_start", base, 0))
+        rec.sim.now = base + total
+        rec.on_complete(req)
+    totals = [t["total_ns"] for t in rec.slowest_traces()]
+    assert totals == [900, 500]
+
+
+def test_begin_measurement_drops_aggregates_keeps_open_flights():
+    rec = _recorder()
+    done = _Req(_App("mc"))
+    _fly(rec, done, ("submit", 0), ("run_start", 1, 0))
+    rec.sim.now = 2
+    rec.on_complete(done)
+    inflight = _Req(_App("mc"))
+    _fly(rec, inflight, ("submit", 5), ("run_start", 6, 0))
+    rec.begin_measurement()
+    assert rec.stage_summaries() == {}
+    assert rec.outcome_counts() == {}
+    assert rec.slowest_traces() == []
+    # The open flight carries across the boundary and still finalizes.
+    rec.sim.now = 10
+    rec.on_complete(inflight)
+    assert rec.outcome_counts() == {"mc": {"done": 1}}
+    assert rec.audit() == []
+
+
+# ----------------------------------------------------------------------
+# Null recorder (zero-overhead default)
+# ----------------------------------------------------------------------
+def test_null_flight_records_nothing():
+    req = _Req(_App("mc"))
+    NULL_FLIGHT.begin(req)
+    NULL_FLIGHT.mark(req, "submit")
+    NULL_FLIGHT.on_complete(req)
+    NULL_FLIGHT.finalize(req, "done")
+    assert req.flight is None
+    assert NULL_FLIGHT.outcome_counts() == {}
+    assert not NULL_FLIGHT.enabled
+    assert FlightRecorder.enabled is True
+    assert NullFlightRecorder.enabled is False
+
+
+# ----------------------------------------------------------------------
+# Breakdown formatting
+# ----------------------------------------------------------------------
+def test_format_breakdown_reports_zero_delta():
+    rec = _recorder()
+    req = _Req(_App("mc"))
+    _fly(rec, req, ("submit", 0), ("run_start", 100, 0))
+    rec.sim.now = 1_100
+    rec.on_complete(req)
+    text = format_breakdown("vessel", rec.stage_summaries(),
+                            client_samples={"mc": [1_100]})
+    assert "latency breakdown by stage" in text
+    assert "delta 0 ns" in text
+    assert "vs measured latency 0 ns" in text
+    assert "service" in text and "sched_queue" in text
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the recorder wired through a real colocation run
+# ----------------------------------------------------------------------
+def _small_cfg(**kwargs):
+    from repro.experiments.common import ExperimentConfig
+    return ExperimentConfig(num_workers=4, sim_ms=4, warmup_ms=1,
+                            seed=11, latency_breakdown=True, **kwargs)
+
+
+def _run(system="vessel", cfg=None, capsys=None, **kwargs):
+    from repro.experiments.common import run_colocation
+    return run_colocation(system, cfg or _small_cfg(),
+                          l_specs=[("memcached", "mc", 1.0)],
+                          b_specs=("linpack",), **kwargs)
+
+
+def test_vessel_direct_run_audit_clean_and_reconciled(capsys):
+    report = _run()
+    assert report.flight_audit == []
+    summary = report.latency_stages["mc"]
+    assert summary["stage_sum_ns"] == summary["total_sum_ns"]
+    assert summary["total"]["count"] == report.completed["mc"]
+    assert report.flight_counts["mc"]["done"] == report.completed["mc"]
+    # satellite: server-side queue-wait percentiles in the report
+    assert report.queue_wait["mc"]["count"] > 0
+    assert report.queue_wait["mc"]["p99_us"] >= 0.0
+    out = capsys.readouterr().out
+    assert "latency breakdown by stage" in out
+    assert "delta 0 ns" in out
+
+
+def test_net_run_with_faults_and_admission_stays_clean(capsys):
+    from repro.faults.plan import FaultPlan
+    from repro.net import NetConfig
+    from repro.overload.admission import AdmissionConfig
+
+    cfg = _small_cfg(net=NetConfig())
+    report = _run(cfg=cfg,
+                  admission=AdmissionConfig(max_queue_depth=8),
+                  fault_plan=FaultPlan(seed=5).drop_packets(0.05))
+    assert report.flight_audit == []
+    counts = report.flight_counts["mc"]
+    assert counts["done"] > 0
+    assert counts.get("drop", 0) > 0  # injected packet loss observed
+    summary = report.latency_stages["mc"]
+    assert summary["stage_sum_ns"] == summary["total_sum_ns"]
+    assert set(summary["stages"]) >= {"net_in", "nic_ring",
+                                      "sched_queue", "service", "net_out"}
+
+
+def test_flight_runs_are_deterministic(capsys):
+    def fingerprint():
+        report = _run()
+        return repr((report.latency_stages, report.flight_counts,
+                     report.flight_audit, report.events_fired,
+                     sorted(report.queue_wait.items())))
+    assert fingerprint() == fingerprint()
+
+
+@pytest.mark.parametrize("system", ["caladan", "arachne", "ideal",
+                                    "linux-cfs"])
+def test_baseline_systems_record_clean_flights(system, capsys):
+    report = _run(system=system)
+    assert report.flight_audit == []
+    summary = report.latency_stages["mc"]
+    assert summary["stage_sum_ns"] == summary["total_sum_ns"]
+    assert report.flight_counts["mc"]["done"] > 0

@@ -13,9 +13,9 @@ from repro.workloads.linpack import linpack_app
 from repro.workloads.memcached import UsrServiceSampler, memcached_app
 
 
-def build(policy, workers=4, rate=1.2, seed=11):
+def build(policy, workers=4, rate=1.2, seed=11, ledger=None):
     sim = Simulator()
-    machine = Machine(sim, CostModel(), workers + 1)
+    machine = Machine(sim, CostModel(), workers + 1, ledger=ledger)
     rngs = RngStreams(seed)
     system = VesselSystem(sim, machine, rngs,
                           worker_cores=machine.cores[1:], policy=policy)
@@ -90,6 +90,34 @@ def test_windows_follow_app_lifecycle():
     assert "late" not in policy._windows
     # Batch apps never get a latency window.
     assert "linpack" not in policy._windows
+
+
+def test_control_actions_charged_to_ledger():
+    # Every harvest/return/cap-preempt is an auditable policy op.
+    from repro.obs.ledger import OpLedger
+
+    ledger = OpLedger()
+    policy = SloAutoscalePolicy(slo_p99_us=2.0, min_samples=16,
+                                hysteresis_periods=1000)
+    sim, system, app = build(policy, rate=1.5, ledger=ledger)
+    sim.run(until=6 * MS)
+    assert policy.harvests > 0
+    assert ledger.op_count("autoscale:harvest",
+                           domain="policy") == policy.harvests
+    assert ledger.op_count("autoscale:cap_preempt", domain="policy") > 0
+    assert ledger.op_count("autoscale:return",
+                           domain="policy") == policy.returns
+
+
+def test_no_ledger_ops_without_a_ledger():
+    # The default NULL_LEDGER path must stay byte-identical: the guard
+    # is `ledger.enabled`, so a ledger-less run counts nothing.
+    policy = SloAutoscalePolicy(slo_p99_us=2.0, min_samples=16,
+                                hysteresis_periods=1000)
+    sim, system, app = build(policy, rate=1.5)
+    sim.run(until=6 * MS)
+    assert policy.harvests > 0
+    assert system.ledger.op_count("autoscale:harvest") == 0
 
 
 def test_deterministic_under_seed():
