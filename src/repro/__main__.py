@@ -54,6 +54,7 @@ EXPERIMENTS = {
     "oversub": "repro.experiments.oversub",
     "overload": "repro.experiments.overload_suite",
     "tracecheck": "repro.experiments.tracecheck",
+    "cluster": "repro.experiments.cluster",
 }
 
 #: scenario entries with their own flag sets (--smoke etc.); a leading
@@ -65,6 +66,7 @@ _CLI_EXPERIMENTS = {
     "oversub": "repro.experiments.oversub",
     "overload": "repro.experiments.overload_suite",
     "tracecheck": "repro.experiments.tracecheck",
+    "cluster": "repro.experiments.cluster",
 }
 
 

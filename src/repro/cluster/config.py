@@ -1,0 +1,91 @@
+"""Configuration of a simulated server fleet.
+
+One :class:`ClusterConfig` describes everything above a single server:
+how many servers, how the aggregated client population is shaped (batch
+count, connections, hot-key skew), which balancer policy fronts the
+fleet, the control-plane epoch, and the coordinator's thresholds.  The
+per-server simulation inherits the experiment's
+:class:`~repro.experiments.common.ExperimentConfig` (workers, sim
+window, seed, cost model) unchanged, so fleet runs stay comparable with
+single-server runs of the same profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.units import MS
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Knobs of the fleet control plane (frozen, picklable)."""
+
+    #: server machines behind the balancer
+    num_servers: int = 4
+    #: front-end policy: "round-robin" | "least-loaded" | "consistent-hash"
+    lb_policy: str = "round-robin"
+    #: total offered load as a fraction of the fleet's nominal L capacity
+    #: (num_servers * per-server alone capacity)
+    load_fraction: float = 0.6
+    #: modeled client connections (aggregated — never per-object)
+    connections: int = 2_000_000
+    #: connection batches the balancer actually places (the aggregation
+    #: unit: each batch stands for connections/batches real connections)
+    batches: int = 64
+    #: fraction of total load concentrated on the hot key classes
+    #: (0 = uniform); the skew knob of the hot-key arms
+    hot_fraction: float = 0.0
+    #: number of batches carrying the hot keys
+    hot_batches: int = 4
+    #: client machines fronting each server's fabric (fewer than the
+    #: single-server default of 4 — a fleet run simulates N fabrics)
+    clients_per_server: int = 2
+    #: control-plane epoch: LB feedback, load reports, coordinator law
+    epoch_ms: float = 1.0
+    #: epochs of lag on queue-depth feedback (staleness of reports)
+    staleness_epochs: int = 1
+    #: least-loaded: batch migrations allowed per epoch
+    migrate_per_epoch: int = 2
+    #: consistent-hash: virtual nodes per server on the ring
+    vnodes: int = 8
+    #: cluster-wide core-harvesting coordinator on/off
+    coordinator: bool = False
+    #: coordinator control law: harvest one BE core when a server's
+    #: modeled utilization exceeds ``harvest_util``; return one when it
+    #: has sat below ``return_util`` for ``hysteresis_epochs`` epochs
+    harvest_util: float = 0.75
+    return_util: float = 0.5
+    hysteresis_epochs: int = 2
+    #: memory-bus interference: how strongly BE work inflates L service
+    #: times (the fig13 ``bus_sensitivity`` channel, per server)
+    bus_sensitivity: float = 1.5
+    #: fluid-model efficiency: fraction of nominal capacity a server
+    #: sustains while best-effort work shares the memory bus (the
+    #: control plane's planning estimate, not a measured quantity)
+    interference_capacity: float = 0.72
+
+    def __post_init__(self) -> None:
+        if self.num_servers < 1:
+            raise ValueError(f"need >= 1 server, got {self.num_servers}")
+        if self.batches < self.num_servers:
+            raise ValueError(
+                f"need >= 1 batch per server ({self.batches} batches, "
+                f"{self.num_servers} servers)")
+        if not 0.0 <= self.hot_fraction < 1.0:
+            raise ValueError(
+                f"hot_fraction must be in [0, 1): {self.hot_fraction}")
+        if self.hot_fraction > 0 and self.hot_batches < 1:
+            raise ValueError("hot_fraction needs hot_batches >= 1")
+        if self.staleness_epochs < 1:
+            raise ValueError("staleness_epochs must be >= 1 (the balancer "
+                             "never sees the current epoch's queues)")
+
+    def epoch_ns(self) -> int:
+        return int(self.epoch_ms * MS)
+
+    def num_epochs(self, sim_ms: int) -> int:
+        return max(1, int(round(sim_ms / self.epoch_ms)))
+
+    def connections_per_batch(self) -> int:
+        return max(1, self.connections // self.batches)

@@ -1,0 +1,149 @@
+"""Cluster-wide core harvesting.
+
+Single-server core allocation already exists twice in this repo: the
+Caladan-style 5 us allocator and the SLO autoscaler policy.  Both act
+on *local* signals.  The fleet coordinator is the missing third level:
+it watches every server's (stale) load reports and decides, per
+server, how many cores best-effort work may hold — harvesting cores on
+servers the balancer has overloaded so their latency tier regains the
+full memory bus, and returning cores once a server has cooled.
+
+The split mirrors the rest of the repo's control/data-plane design:
+
+* :class:`Coordinator` is pure control plane.  It runs inside the
+  serial fleet planner, consumes one `ServerLoadReport` per server per
+  epoch (lagged by the report staleness), applies the control law
+
+      util > harvest_util            ->  cap -= 1   (immediately)
+      util < return_util, sustained  ->  cap += 1   (after
+                                         ``hysteresis_epochs``)
+
+  and records, per server, a ``(t_ns, cap)`` step schedule.
+* :class:`ClusterCapPolicy` is the data-plane half: an ordinary
+  registered scheduling policy (name ``"cluster-cap"``) that replays a
+  precomputed schedule inside one server's simulation.  It subclasses
+  the SLO autoscaler purely for its capped best-effort admission and
+  eviction machinery — the *decisions* come from the schedule, not
+  from local p99 measurements, which is what makes the servers
+  independent and the fleet fan-out byte-identical under ``--jobs``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.fluid import ServerLoadReport
+from repro.overload.autoscaler import SloAutoscalePolicy
+from repro.sched.policy import Decision, SchedPolicy, register_policy
+
+#: one server's cap timeline: (effective-from ns, best-effort core cap)
+CapSchedule = Tuple[Tuple[int, int], ...]
+
+
+class Coordinator:
+    """The fleet-level harvest/return control law (control plane)."""
+
+    def __init__(self, cluster: ClusterConfig, max_be_cores: int) -> None:
+        self.cluster = cluster
+        self.max_be_cores = max_be_cores
+        self.caps: List[int] = [max_be_cores] * cluster.num_servers
+        self._calm: List[int] = [0] * cluster.num_servers
+        self._timelines: List[List[Tuple[int, int]]] = [
+            [(0, max_be_cores)] for _ in range(cluster.num_servers)]
+        self.harvests = 0
+        self.returns = 0
+
+    def on_reports(self, effective_ns: int,
+                   reports: Sequence[ServerLoadReport]) -> None:
+        """Apply one epoch of (stale) telemetry; cap changes take
+        effect at ``effective_ns`` (the start of the next epoch)."""
+        for report in reports:  # fixed server order: deterministic
+            server = report.server
+            cap = self.caps[server]
+            if report.util > self.cluster.harvest_util:
+                self._calm[server] = 0
+                if cap > 0:
+                    self._change(server, cap - 1, effective_ns)
+                    self.harvests += 1
+            elif report.util < self.cluster.return_util:
+                self._calm[server] += 1
+                if self._calm[server] >= self.cluster.hysteresis_epochs \
+                        and cap < self.max_be_cores:
+                    self._change(server, cap + 1, effective_ns)
+                    self.returns += 1
+                    self._calm[server] = 0
+            else:
+                self._calm[server] = 0
+
+    def _change(self, server: int, cap: int, effective_ns: int) -> None:
+        self.caps[server] = cap
+        self._timelines[server].append((effective_ns, cap))
+
+    def schedule(self, server: int) -> CapSchedule:
+        """The ``(t_ns, cap)`` step timeline recorded for one server."""
+        return tuple(self._timelines[server])
+
+    def snapshot(self) -> dict:
+        """JSON-friendly summary for the cluster report."""
+        return {
+            "harvests": self.harvests,
+            "returns": self.returns,
+            "final_caps": list(self.caps),
+        }
+
+
+@register_policy
+class ClusterCapPolicy(SloAutoscalePolicy):
+    """Replay a coordinator cap schedule inside one server (data plane).
+
+    Inherits the autoscaler's capped ``on_core_idle`` admission and
+    over-cap eviction; replaces its local p99 control law with the
+    fleet schedule.  With the default schedule (uncapped forever) the
+    policy admits best-effort work exactly like the base scheduler.
+    """
+
+    name = "cluster-cap"
+
+    def __init__(self,
+                 schedule: Sequence[Sequence[int]] = ((0, 1_000_000),),
+                 **kwargs) -> None:
+        super().__init__(**kwargs)
+        #: normalized (t_ns, cap) steps, in time order
+        self.schedule: CapSchedule = tuple(
+            (int(t_ns), int(cap)) for t_ns, cap in schedule)
+        last = -1
+        for t_ns, cap in self.schedule:
+            if t_ns <= last:
+                raise ValueError("schedule steps must have increasing t_ns")
+            if cap < 0:
+                raise ValueError(f"negative cap {cap} at {t_ns} ns")
+            last = t_ns
+        self._next_step = 0
+
+    def on_tick(self) -> Iterator[Decision]:
+        if self.be_allowed is None:
+            self._total_cores = sum(1 for _ in self.ctx.core_states())
+            self.be_allowed = self._total_cores
+        now = self.ctx.now
+        while self._next_step < len(self.schedule) \
+                and self.schedule[self._next_step][0] <= now:
+            cap = min(self.schedule[self._next_step][1], self._total_cores)
+            self._next_step += 1
+            if cap == self.be_allowed:
+                continue
+            ledger = getattr(self.ctx, "ledger", None)
+            if cap < self.be_allowed:
+                self.harvests += self.be_allowed - cap
+                self.be_allowed = cap
+                if ledger is not None and ledger.enabled:
+                    ledger.count_op("cluster:harvest", domain="policy")
+                yield from self._evict_excess_be()
+            else:
+                self.returns += cap - self.be_allowed
+                self.be_allowed = cap
+                if ledger is not None and ledger.enabled:
+                    ledger.count_op("cluster:return", domain="policy")
+        # The grandparent's tick: default dispatch without the
+        # autoscaler's local p99 control law.
+        yield from SchedPolicy.on_tick(self)

@@ -1,0 +1,80 @@
+"""The control plane's fluid model of per-server load.
+
+The balancer and the coordinator cannot see inside the per-server
+simulations — those run later, possibly in other processes.  What a
+real front-end sees is coarse feedback: per-server queue depths and
+utilizations, sampled each control epoch and delivered late.  This
+module is that feedback: a deterministic fluid approximation
+
+    queue += (offered_rate - effective_capacity) * epoch
+
+per server, where effective capacity shrinks to
+``interference_capacity`` of nominal while best-effort work still
+holds cores on the box (the planning-side view of the memory-bus
+interference the detailed simulation models per request).
+
+The model is intentionally crude — it is the *controller's estimate*,
+not ground truth.  The detailed data-plane simulation is what actually
+decides latencies; the fluid model only has to be good enough for the
+balancer and coordinator to make sane decisions, exactly like a real
+control plane acting on sampled telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.cluster.config import ClusterConfig
+
+
+@dataclass(frozen=True)
+class ServerLoadReport:
+    """One server's telemetry for one control epoch."""
+
+    server: int
+    #: offered rate that epoch (Mops)
+    rate_mops: float
+    #: fluid queue estimate at epoch end (requests)
+    queue: float
+    #: offered rate / effective capacity (> 1 means falling behind)
+    util: float
+    #: best-effort cores the server was allowed that epoch
+    be_cap: int
+
+
+class FleetModel:
+    """Per-server fluid queues, stepped once per control epoch."""
+
+    def __init__(self, cluster: ClusterConfig,
+                 capacity_mops: float) -> None:
+        self.cluster = cluster
+        #: nominal per-server L capacity with no BE interference (Mops)
+        self.capacity_mops = capacity_mops
+        self.queues = [0.0] * cluster.num_servers
+        self._epoch_us = cluster.epoch_ns() / 1000.0
+
+    def effective_capacity(self, be_cap: int) -> float:
+        """Capacity while ``be_cap`` best-effort cores share the bus."""
+        if be_cap > 0:
+            return self.capacity_mops * self.cluster.interference_capacity
+        return self.capacity_mops
+
+    def step(self, rates_mops: Sequence[float],
+             be_caps: Sequence[int]) -> List[ServerLoadReport]:
+        """Advance one epoch; returns this epoch's telemetry."""
+        reports: List[ServerLoadReport] = []
+        for server in range(self.cluster.num_servers):
+            capacity = self.effective_capacity(be_caps[server])
+            rate = rates_mops[server]
+            # rate/capacity are Mops == requests per microsecond.
+            delta = (rate - capacity) * self._epoch_us
+            self.queues[server] = max(0.0, self.queues[server] + delta)
+            reports.append(ServerLoadReport(
+                server=server,
+                rate_mops=rate,
+                queue=self.queues[server],
+                util=rate / capacity if capacity > 0 else float("inf"),
+                be_cap=be_caps[server],
+            ))
+        return reports

@@ -150,7 +150,8 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
                    setup_hook: Optional[Callable] = None,
                    admission=None, trace=None, churn=None,
                    fault_plan=None,
-                   track_queues: bool = False) -> SystemReport:
+                   track_queues: bool = False,
+                   rng_namespace: Optional[str] = None) -> SystemReport:
     """Build and run one colocation simulation.
 
     ``l_specs`` rows are ``(kind, name, rate_mops)``; ``b_specs`` are
@@ -167,6 +168,12 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
     for the post-run containment audit); ``track_queues`` samples L-app
     queue depths through the measurement window for the
     graceful-degradation signal (``queue_peak`` / ``queue_final``).
+
+    ``rng_namespace`` spawns the run's RNG streams from a named child
+    root instead of the raw seed, so many runs sharing one seed (the
+    cluster layer's per-server simulations) draw fully independent
+    randomness while staying reproducible.  ``None`` — the default —
+    is byte-identical to the historical behaviour.
     """
     sim = Simulator()
     # Observability must be wired before the system is built: layers
@@ -189,6 +196,8 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
     if tracer is not None:
         machine.attach_tracer(tracer)
     rngs = RngStreams(cfg.seed)
+    if rng_namespace is not None:
+        rngs = rngs.spawn(rng_namespace)
     workers = machine.cores[1:]
 
     factory = system_factory(system_name)
@@ -337,9 +346,16 @@ def run_colocation(system_name: str, cfg: ExperimentConfig,
                     for label, ts, core in trace["marks"])
                 print(f"  {trace['app']} "
                       f"{trace['total_ns'] / 1000.0:.1f}us: {path}")
+    from repro.obs.hist import LogHistogram
+    for app in system.apps:
+        if app.is_latency:
+            report.latency_hist[app.name] = \
+                LogHistogram.from_samples(app.latency.samples)
     if fabric is not None:
         for name, recorder in fabric.client_latency.items():
             report.client_latency[name] = summarize_ns(recorder.samples)
+            report.client_hist[name] = \
+                LogHistogram.from_samples(recorder.samples)
         report.net_ops = fabric.counters_snapshot()
         report.net_conservation = fabric.conservation()
     if admission_ctl is not None:
@@ -468,6 +484,27 @@ def run_colocation_batch(tasks: Sequence[Tuple[str, "ExperimentConfig",
             print(text, end="")
         reports.append(report)
     return reports
+
+
+def merged_latency_summary(reports: Sequence[SystemReport], app_name: str,
+                           client: bool = True) -> Dict[str, float]:
+    """Latency summary for one app pooled *exactly* across many runs.
+
+    Folds the per-run log-histograms (client-observed when ``client``,
+    server-side otherwise) with the exact bucket merge — identical to
+    histogramming the concatenated sample streams, with none of the
+    percentile-of-percentiles bias that averaging per-run p99s would
+    introduce.  This is how batch sweeps and the cluster layer roll a
+    fleet of runs into one figure.
+    """
+    from repro.obs.hist import LogHistogram
+    hists = []
+    for report in reports:
+        source = report.client_hist if client else report.latency_hist
+        hist = source.get(app_name)
+        if hist is not None:
+            hists.append(hist)
+    return LogHistogram.merged(hists).summary()
 
 
 # ----------------------------------------------------------------------

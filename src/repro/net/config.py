@@ -10,6 +10,7 @@ the network on with ``cfg.scaled(net=NetConfig())`` (or ``--net``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.sim.units import MS, US
 
@@ -61,6 +62,19 @@ class NetConfig:
     #: and thinks for ``think_ns`` between response and next send
     closed_loop: bool = False
     think_ns: int = 0
+    #: identity of the server machine this fabric fronts.  ``None`` (the
+    #: single-server default) keeps the historical global stream names
+    #: (``net/rss``, ``net/arrivals/...``) byte-for-byte; a fleet run
+    #: (``repro.cluster``) must set a distinct id per server so that two
+    #: fabrics sharing one ``RngStreams`` never collide on a stream name
+    #: (colliding names would entangle the servers' randomness).
+    server_id: Optional[int] = None
 
     def num_rings(self, num_workers: int) -> int:
         return self.rings if self.rings > 0 else max(1, num_workers)
+
+    def stream_prefix(self) -> str:
+        """Namespace for this fabric's RNG stream names."""
+        if self.server_id is None:
+            return "net"
+        return f"net/server{self.server_id}"

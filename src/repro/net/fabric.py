@@ -59,7 +59,7 @@ class NetFabric:
         self.link_out = Link(sim, "server->clients", cfg.gbps,
                              cfg.propagation_ns, ledger=self.ledger,
                              on_drop=self._on_drop)
-        rss_key = rngs.stream("net/rss").getrandbits(64)
+        rss_key = rngs.stream(f"{cfg.stream_prefix()}/rss").getrandbits(64)
         self.nic = Nic(sim, self._server_intake,
                        num_rings=cfg.num_rings(num_workers),
                        ring_capacity=cfg.ring_capacity, nic_ns=cfg.nic_ns,
@@ -126,7 +126,8 @@ class NetFabric:
                     app, service_sampler, payload_sampler, conn_ids,
                     rate * len(conn_ids) / conns,
                     self.rngs.stream(
-                        f"net/arrivals/{app.name}/{machine.index}")))
+                        f"{self.cfg.stream_prefix()}/arrivals/"
+                        f"{app.name}/{machine.index}")))
         for machine in self.machines:
             machine.start()
 

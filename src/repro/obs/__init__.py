@@ -1,10 +1,12 @@
-"""Observability: op ledger, per-request flight recorder, gauge series."""
+"""Observability: op ledger, log histograms, flights, gauge series."""
 
+from repro.obs.hist import LogHistogram, merge_recorder_histograms
 from repro.obs.ledger import NULL_LEDGER, NullLedger, OpLedger
 from repro.obs.flight import (NULL_FLIGHT, FlightRecorder,
                               NullFlightRecorder)
 from repro.obs.timeseries import GaugeSeries
 
 __all__ = ["OpLedger", "NullLedger", "NULL_LEDGER",
+           "LogHistogram", "merge_recorder_histograms",
            "FlightRecorder", "NullFlightRecorder", "NULL_FLIGHT",
            "GaugeSeries"]

@@ -47,34 +47,19 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.obs.hist import SUBDIV, bucket_index, bucket_upper_ns
+
 #: ledger domain for injected-fault markers
 FAULT_DOMAIN = "fault"
 #: ledger domain for degraded recovery paths (watchdog retries, kernel
 #: IPIs, forced switches, scheduler restarts)
 FALLBACK_DOMAIN = "fallback"
 
-#: sub-buckets per power of two in the log histogram
-_SUBDIV = 8
-
-
-def _bucket_index(ns: int) -> int:
-    """Fixed log-histogram bucket for a nanosecond cost (0 -> bucket 0)."""
-    if ns <= 0:
-        return 0
-    exp = ns.bit_length() - 1          # floor(log2(ns))
-    base = 1 << exp
-    sub = ((ns - base) << 3) >> exp    # 0.._SUBDIV-1 within the octave
-    return exp * _SUBDIV + sub + 1
-
-
-def _bucket_upper_ns(index: int) -> float:
-    """Inclusive upper bound of a bucket (the percentile estimate)."""
-    if index <= 0:
-        return 0.0
-    index -= 1
-    exp, sub = divmod(index, _SUBDIV)
-    base = 1 << exp
-    return base + (sub + 1) * base / _SUBDIV
+# The bucketing scheme lives in repro.obs.hist (shared with the cluster
+# report merge); these aliases keep the ledger's historical names.
+_SUBDIV = SUBDIV
+_bucket_index = bucket_index
+_bucket_upper_ns = bucket_upper_ns
 
 
 class _OpStat:

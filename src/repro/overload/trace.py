@@ -16,7 +16,7 @@ small multiplier (0.05), not zero.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.sim.engine import Simulator
 from repro.sim.units import MS
@@ -51,6 +51,35 @@ class LoadTrace:
     @property
     def peak_multiplier(self) -> float:
         return max(p.multiplier for p in self.phases)
+
+    @classmethod
+    def from_rates(cls, base_rate: float, epoch_ms: float,
+                   rates: Sequence[float],
+                   floor: float = 1e-4) -> "LoadTrace":
+        """A trace that replays an absolute per-epoch rate timeline.
+
+        ``rates[e]`` is the offered rate (same unit as ``base_rate``)
+        through epoch ``e`` of length ``epoch_ms``; the multiplier for
+        each phase is ``rate / base_rate``, clamped to ``floor`` so a
+        zero-rate epoch (a server the balancer assigned nothing) never
+        stops the generator from observing later phases.  Consecutive
+        equal multipliers collapse into one phase.  The cluster layer
+        uses this to hand every server its balancer-assigned load
+        curve (``repro.cluster``).
+        """
+        if base_rate <= 0:
+            raise ValueError(f"base_rate must be positive: {base_rate}")
+        phases: List[LoadPhase] = []
+        last = None
+        for epoch, rate in enumerate(rates):
+            multiplier = max(floor, rate / base_rate)
+            if last is None or multiplier != last:
+                phases.append(LoadPhase(at_ms=epoch * epoch_ms,
+                                        multiplier=multiplier))
+                last = multiplier
+        if not phases:
+            phases.append(LoadPhase(at_ms=0.0, multiplier=1.0))
+        return cls(phases=tuple(phases))
 
 
 def flash_crowd_trace(sim_ms: float, spike_factor: float = 10.0) -> LoadTrace:

@@ -201,6 +201,30 @@ def _kernel_churn_cycle(seed: int) -> Tuple[int, str]:
     return cycles, "cycles"
 
 
+def _kernel_cluster_lb(seed: int) -> Tuple[int, str]:
+    """The fleet control plane alone: place, rebalance, harvest.
+
+    Plans (no server simulation) a 16-server / 256-batch fleet under
+    the least-loaded balancer with the coordinator on, for hundreds of
+    control epochs.  Prices the serial stage every cluster run pays
+    before ``--jobs`` can fan anything out: batch drawing, greedy
+    migration scans, the fluid model, and cap-schedule bookkeeping.
+    """
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.experiments.common import ExperimentConfig
+
+    cfg = ExperimentConfig(seed=seed, sim_ms=50)
+    cluster = ClusterConfig(num_servers=16, batches=256,
+                            lb_policy="least-loaded", hot_fraction=0.5,
+                            hot_batches=8, epoch_ms=0.25,
+                            coordinator=True)
+    epochs = 0
+    for repeat in range(4):
+        plan = Cluster("vessel", cfg, cluster).plan()
+        epochs += len(plan.fluid_history)
+    return epochs * cluster.num_servers, "server-epochs"
+
+
 KERNELS: Dict[str, Callable[[int], Tuple[int, str]]] = {
     "engine-churn": _kernel_engine_churn,
     "switch-pingpong": _kernel_switch_pingpong,
@@ -210,11 +234,13 @@ KERNELS: Dict[str, Callable[[int], Tuple[int, str]]] = {
     "colo-net": _kernel_colo_net,
     "flight-overhead": _kernel_flight_overhead,
     "churn-cycle": _kernel_churn_cycle,
+    "cluster-lb": _kernel_cluster_lb,
 }
 
 #: the cheap subset the CI bench job runs (fails on >25 % regression)
 SMOKE_KERNELS = ("engine-churn", "switch-pingpong", "colo-vessel",
-                 "policy-dispatch", "flight-overhead", "churn-cycle")
+                 "policy-dispatch", "flight-overhead", "churn-cycle",
+                 "cluster-lb")
 
 
 def _calibrate() -> float:

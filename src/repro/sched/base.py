@@ -88,6 +88,12 @@ class SystemReport:
     gauges: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: the K slowest completed flights (FlightRecorder.slowest_traces)
     slow_traces: List[Dict] = field(default_factory=list)
+    #: per L-app server-side latency log-histograms
+    #: (``repro.obs.hist.LogHistogram``) — exact-mergeable across runs,
+    #: the cluster layer's aggregation currency
+    latency_hist: Dict[str, object] = field(default_factory=dict)
+    #: per L-app client-observed latency log-histograms (fabric runs)
+    client_hist: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def throughput_mops(self, app_name: str) -> float:

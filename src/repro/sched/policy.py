@@ -361,6 +361,7 @@ def _load_builtin_policies() -> None:
     import repro.sched.zoo  # noqa: F401
     import repro.vessel.policy  # noqa: F401
     import repro.overload.autoscaler  # noqa: F401
+    import repro.cluster.coordinator  # noqa: F401
 
 
 def available_policies() -> Dict[str, type]:

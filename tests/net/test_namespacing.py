@@ -1,0 +1,29 @@
+"""Per-machine RNG namespacing: N fabrics, one seed, no stream sharing."""
+
+from repro.net import NetConfig
+from repro.sim.rng import RngStreams
+
+
+def test_stream_prefix_default_is_legacy_name():
+    # server_id=None must keep the historical stream names so every
+    # pre-cluster experiment stays byte-identical.
+    assert NetConfig().stream_prefix() == "net"
+
+
+def test_stream_prefix_namespaced_by_server_id():
+    assert NetConfig(server_id=0).stream_prefix() == "net/server0"
+    assert NetConfig(server_id=7).stream_prefix() == "net/server7"
+
+
+def test_namespaced_streams_draw_independently():
+    rngs = RngStreams(42)
+    legacy = rngs.stream(f"{NetConfig().stream_prefix()}/rss")
+    s0 = rngs.stream(f"{NetConfig(server_id=0).stream_prefix()}/rss")
+    s1 = rngs.stream(f"{NetConfig(server_id=1).stream_prefix()}/rss")
+    draws = [rng.getrandbits(64) for rng in (legacy, s0, s1)]
+    assert len(set(draws)) == 3  # three distinct streams
+
+    # And the same (seed, server) pair always replays the same stream.
+    replay = RngStreams(42).stream(
+        f"{NetConfig(server_id=1).stream_prefix()}/rss")
+    assert replay.getrandbits(64) == draws[2]
