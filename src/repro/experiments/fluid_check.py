@@ -1,0 +1,250 @@
+"""The fluid-mode CI gate (``python -m repro fluidcheck``).
+
+Three checks, exit non-zero if any fails:
+
+(a) **Exact-engine byte-identity** — the four golden VESSEL scenarios
+    (captured at the seed commit, kept under ``tests/sched/``) are
+    re-run through the exact engine and compared field-for-field,
+    floats included.  The fluid feature landing must not have moved a
+    bit of the default path.
+
+(b) **Fallback equality** — a ``--fluid on`` run that is *ineligible*
+    for the analytic path (here: queue tracking, which needs a live
+    Simulator) must produce a report identical to the same run with
+    ``--fluid off``; the fallback notice goes to stderr only.
+
+(c) **Fluid tolerance** — on the pinned smoke scenarios (the fig12
+    kernel cells: VESSEL at 42 cores, Caladan at 34, load 0.45, bursty,
+    seed 42), fluid-mode p99 must land within the stated tolerance of
+    the exact engine — |Δp99| ≤ 50% relative or ≤ 5 µs absolute — and
+    throughput within 3%.  These bounds are the documented approximation
+    contract (docs/SIMULATION.md), with headroom over the measured gap
+    (p99 within ~25% for VESSEL and ~37% for Caladan at record time;
+    throughput within 1%).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict, List
+
+from repro.experiments.common import ExperimentConfig, make_l_app, \
+    run_colocation
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.units import MS
+
+#: (system, workers, load) — the pinned fig12-class tolerance cells
+PINNED = (("vessel", 42, 0.45), ("caladan", 34, 0.45))
+#: the stated tolerance: p99 within 50% relative OR 5 us absolute
+P99_REL_TOL = 0.50
+P99_ABS_TOL_US = 5.0
+#: throughput within 3%
+TPUT_REL_TOL = 0.03
+
+#: the golden capture's scenarios (mirrors tests/sched/test_byte_identity
+#: — duplicated here because the test tree is not an importable package)
+GOLDEN_SCENARIOS = {
+    "memcached_r1.0": dict(l_specs=[("memcached", "memcached", 1.0)]),
+    "memcached_r2.0": dict(l_specs=[("memcached", "memcached", 2.0)]),
+    "silo_r0.05": dict(l_specs=[("silo", "silo", 0.05)]),
+    "dense_4apps": dict(
+        l_specs=[("memcached", f"mc{i}", 0.7) for i in range(4)],
+        num_workers=2, batch=False),
+}
+
+
+def _golden_path() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "tests", "sched",
+                        "golden_vessel_reports.json")
+
+
+def _run_golden_scenario(l_specs, num_workers=4, sim_ms=10, warmup_ms=2,
+                         seed=42, batch=True) -> Dict:
+    """One VESSEL run, serialized exactly like the golden capture."""
+    from repro.hardware.machine import Machine
+    from repro.hardware.timing import CostModel
+    from repro.obs.ledger import OpLedger
+    from repro.vessel.scheduler import VesselSystem
+    from repro.workloads.base import OpenLoopSource
+    from repro.workloads.linpack import linpack_app
+
+    sim = Simulator()
+    ledger = OpLedger(sim=sim)
+    machine = Machine(sim, CostModel(), num_workers + 1, ledger=ledger)
+    rngs = RngStreams(seed)
+    system = VesselSystem(sim, machine, rngs,
+                          worker_cores=machine.cores[1:])
+    pending = []
+    for kind, name, rate in l_specs:
+        app, sampler = make_l_app(kind, name, rngs)
+        system.add_app(app)
+        pending.append((app, sampler, name, rate))
+    if batch:
+        system.add_app(linpack_app())
+    system.start()
+    for app, sampler, name, rate in pending:
+        OpenLoopSource(sim, app, system.submit, rate, sampler,
+                       rngs.stream(f"arrivals/{name}"))
+    sim.at(warmup_ms * MS, system.begin_measurement)
+    sim.run(until=sim_ms * MS)
+    report = system.report()
+    return {
+        "system": report.system,
+        "elapsed_ns": report.elapsed_ns,
+        "num_worker_cores": report.num_worker_cores,
+        "buckets": dict(sorted(report.buckets.items())),
+        "latency": {k: dict(sorted(v.items()))
+                    for k, v in sorted(report.latency.items())},
+        "completed": dict(sorted(report.completed.items())),
+        "useful_ns": dict(sorted(report.useful_ns.items())),
+        "ledger_ops": dict(sorted(ledger.op_counts().items())),
+        "preemptions": system.preemptions,
+        "rotations": system.rotations,
+        "events_fired": sim.events_fired,
+    }
+
+
+def _serialize(report) -> Dict:
+    """Stable view of a report for exact-equality comparison."""
+    return {
+        "system": report.system,
+        "elapsed_ns": report.elapsed_ns,
+        "buckets": dict(sorted(report.buckets.items())),
+        "latency": {k: dict(sorted(v.items()))
+                    for k, v in sorted(report.latency.items())},
+        "queue_wait": {k: dict(sorted(v.items()))
+                       for k, v in sorted(report.queue_wait.items())},
+        "completed": dict(sorted(report.completed.items())),
+        "useful_ns": dict(sorted(report.useful_ns.items())),
+        "hist": {k: dict(sorted(v.summary().items()))
+                 for k, v in sorted(report.latency_hist.items())},
+        "queue_peak": dict(sorted(report.queue_peak.items())),
+        "events_fired": report.events_fired,
+    }
+
+
+def check_golden(seed: int = 42, scenarios=None) -> List[str]:
+    """Gate (a): golden byte-identity.  Returns failure messages."""
+    path = _golden_path()
+    if not os.path.exists(path):
+        return [f"golden file not found: {path}"]
+    with open(path) as handle:
+        golden = json.load(handle)
+    failures = []
+    names = scenarios if scenarios is not None else sorted(GOLDEN_SCENARIOS)
+    for name in names:
+        actual = json.loads(json.dumps(
+            _run_golden_scenario(seed=seed, **GOLDEN_SCENARIOS[name])))
+        if actual != golden[name]:
+            diffs = [key for key in golden[name]
+                     if actual.get(key) != golden[name][key]]
+            failures.append(f"golden {name}: mismatch in {diffs}")
+        else:
+            print(f"  golden {name}: byte-identical")
+    return failures
+
+
+def check_fallback(seed: int = 42) -> List[str]:
+    """Gate (b): an ineligible --fluid on run equals its --fluid off
+    twin exactly (the fallback is the exact engine, not a degraded
+    approximation)."""
+    cfg = ExperimentConfig(num_workers=8, sim_ms=4, warmup_ms=1,
+                           seed=seed, bursty=True)
+    specs = [("memcached", "memcached", 2.0)]
+    off = run_colocation("vessel", cfg, specs, track_queues=True)
+    on = run_colocation("vessel", cfg.scaled(fluid="on"), specs,
+                        track_queues=True)
+    if _serialize(off) != _serialize(on):
+        return ["fallback: --fluid on (ineligible) != --fluid off"]
+    print("  fallback run: identical to --fluid off")
+    return []
+
+
+def check_tolerance(seed: int = 42, pinned=PINNED) -> List[str]:
+    """Gate (c): fluid vs exact on the pinned scenarios."""
+    failures = []
+    for system, workers, load in pinned:
+        cfg = ExperimentConfig(num_workers=workers, sim_ms=6, warmup_ms=2,
+                               seed=seed, bursty=True)
+        rate = load * workers  # memcached mean service 1000 ns
+        specs = [("memcached", "memcached", rate)]
+        exact = run_colocation(system, cfg, specs)
+        fluid = run_colocation(system, cfg.scaled(fluid="on"), specs)
+        if fluid.events_fired != 0:
+            failures.append(f"{system}: fluid run fired "
+                            f"{fluid.events_fired} events (expected 0)")
+        e_p99 = exact.p99_us("memcached")
+        f_p99 = fluid.p99_us("memcached")
+        d_rel = abs(f_p99 - e_p99) / e_p99 if e_p99 > 0 else 0.0
+        d_abs = abs(f_p99 - e_p99)
+        p99_ok = d_rel <= P99_REL_TOL or d_abs <= P99_ABS_TOL_US
+        e_tput = exact.throughput_mops("memcached")
+        f_tput = fluid.throughput_mops("memcached")
+        t_rel = abs(f_tput - e_tput) / e_tput if e_tput > 0 else 0.0
+        tput_ok = t_rel <= TPUT_REL_TOL
+        print(f"  {system} k={workers} load={load}: "
+              f"p99 exact={e_p99:.2f}us fluid={f_p99:.2f}us "
+              f"(d={d_rel * 100:.1f}%) "
+              f"tput exact={e_tput:.3f} fluid={f_tput:.3f} "
+              f"(d={t_rel * 100:.2f}%)")
+        if not p99_ok:
+            failures.append(
+                f"{system}: fluid p99 {f_p99:.2f}us vs exact "
+                f"{e_p99:.2f}us exceeds tolerance "
+                f"({P99_REL_TOL:.0%} rel / {P99_ABS_TOL_US}us abs)")
+        if not tput_ok:
+            failures.append(
+                f"{system}: fluid throughput {f_tput:.3f} vs exact "
+                f"{e_tput:.3f} exceeds {TPUT_REL_TOL:.0%}")
+    return failures
+
+
+def run_checks(seed: int = 42, smoke: bool = False) -> int:
+    failures: List[str] = []
+    print("[fluidcheck] gate (a): --fluid off byte-identity vs golden")
+    scenarios = (["memcached_r1.0", "dense_4apps"] if smoke else None)
+    failures += check_golden(seed=seed, scenarios=scenarios)
+    print("[fluidcheck] gate (b): ineligible-run fallback equality")
+    failures += check_fallback(seed=seed)
+    print("[fluidcheck] gate (c): fluid-vs-exact tolerance")
+    pinned = PINNED[:1] if smoke else PINNED
+    failures += check_tolerance(seed=seed, pinned=pinned)
+    if failures:
+        print("[fluidcheck] FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("[fluidcheck] all gates passed")
+    return 0
+
+
+def main(cfg: ExperimentConfig) -> None:
+    """Experiment-mode entry (``python -m repro fluidcheck`` among
+    others): run the full gate; raise on failure so the driver exits
+    non-zero."""
+    if run_checks(seed=cfg.seed) != 0:
+        raise SystemExit(1)
+
+
+def cli_main(argv=None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fluidcheck",
+        description="Gate the hybrid fluid/event mode: exact-engine "
+                    "byte-identity, fallback equality, and fluid "
+                    "tolerance on the pinned scenarios.")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced gate: two golden scenarios and "
+                             "the VESSEL tolerance cell only")
+    args = parser.parse_args(argv)
+    return run_checks(seed=args.seed, smoke=args.smoke)
+
+
+if __name__ == "__main__":
+    sys.exit(cli_main())

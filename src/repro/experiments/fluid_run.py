@@ -1,0 +1,190 @@
+"""Fluid-mode orchestration: pre-drawn schedules through analytic adapters.
+
+``run_colocation`` hands a run over to :func:`run_fluid_colocation` when
+``cfg.fluid == "on"`` *and* :func:`fluid_eligibility` returns no
+objections.  The fluid path never approximates randomness: arrivals and
+service times are pre-drawn through the vectorized replays
+(``repro.sim.vectorized`` / ``repro.workloads.vectorized``), which are
+integer-identical to the per-event sources on the same named streams.
+What *is* approximate is the scheduler dynamics — the analytic adapters
+in ``repro.sim.fluid`` — and that approximation is gated by
+``python -m repro fluidcheck`` (see docs/SIMULATION.md for the
+contract).
+
+Eligibility is conservative by design: any feature the adapters do not
+model (net fabric, observability, custom policies, faults, churn,
+admission, bandwidth caps, bus coupling, multi-L Caladan partitions)
+falls back to the exact engine with a notice on *stderr* — stdout stays
+byte-identical for the comparisons CI makes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.fluid import FluidCaladan, FluidVessel
+from repro.sim.rng import RngStreams
+from repro.sim.stats import summarize_ns
+from repro.sim.units import MS
+from repro.sim.vectorized import draw_bursty, draw_open_loop
+from repro.sched.base import SystemReport
+from repro.workloads.vectorized import batch_services
+
+#: systems with a registered analytic adapter
+_FLUID_SYSTEMS = ("vessel", "caladan")
+#: L-app kinds whose samplers have exact batch replays
+_FLUID_L_KINDS = ("memcached", "silo")
+
+
+def fluid_eligibility(system_name: str, cfg,
+                      l_specs: Sequence[Tuple[str, str, float]],
+                      b_specs: Sequence[str] = ("linpack",),
+                      bus_sensitivity: float = 0.0,
+                      caladan_bw_cap=None, vessel_bw_cap=None,
+                      setup_hook=None, admission=None, trace=None,
+                      churn=None, fault_plan=None,
+                      track_queues: bool = False,
+                      rng_namespace: Optional[str] = None) -> List[str]:
+    """Why this run can NOT take the fluid path (empty list == it can).
+
+    Mirrors :func:`repro.experiments.common.run_colocation`'s signature
+    so the dispatch site forwards its own arguments verbatim.
+    """
+    reasons: List[str] = []
+    if system_name not in _FLUID_SYSTEMS:
+        reasons.append(f"no fluid adapter for system {system_name!r}")
+    if cfg.net is not None:
+        reasons.append("net fabric runs are event-exact only")
+    if cfg.observability:
+        reasons.append("op ledger / tracing needs per-event charges")
+    if cfg.flight_on:
+        reasons.append("flight recording needs per-event marks")
+    if cfg.policy is not None:
+        reasons.append("custom policies are event-exact only")
+    for kind, name, _rate in l_specs:
+        if kind not in _FLUID_L_KINDS:
+            reasons.append(f"no batch replay for L-app kind {kind!r}")
+    if system_name == "caladan" and len(l_specs) != 1:
+        reasons.append("fluid Caladan models a single L-app partition")
+    if any(kind != "linpack" for kind in b_specs):
+        reasons.append("only linpack B-apps (membench is bus-coupled)")
+    if bus_sensitivity:
+        reasons.append("bus-sensitivity coupling is event-exact only")
+    if caladan_bw_cap is not None or vessel_bw_cap is not None:
+        reasons.append("bandwidth caps are event-exact only")
+    if setup_hook is not None:
+        reasons.append("setup hooks need a live Simulator")
+    if admission is not None or trace is not None or churn is not None \
+            or fault_plan is not None:
+        reasons.append("overload/fault features are event-exact only")
+    if track_queues:
+        reasons.append("queue tracking samples a live Simulator")
+    return reasons
+
+
+def run_fluid_colocation(system_name: str, cfg,
+                         l_specs: Sequence[Tuple[str, str, float]],
+                         b_specs: Sequence[str] = ("linpack",),
+                         rng_namespace: Optional[str] = None
+                         ) -> SystemReport:
+    """One colocation run through the analytic adapters.
+
+    Draws every source's full schedule up front on the run's own named
+    streams (identical integers to the exact engine), then walks the
+    merged arrival sequence through the system's adapter.  Only requests
+    *completing* inside the measurement window are recorded, matching
+    the exact engine's accounting; overhead charges are clipped to the
+    window by the adapters themselves.
+    """
+    from repro.experiments.common import make_l_app
+
+    warmup_ns = cfg.warmup_ms * MS
+    end_ns = cfg.sim_ms * MS
+    rngs = RngStreams(cfg.seed)
+    if rng_namespace is not None:
+        rngs = rngs.spawn(rng_namespace)
+
+    # Pre-draw each source's schedule.  Draw order per stream matches
+    # the exact engine (arrivals and services live on disjoint streams).
+    per_app: List[Tuple[str, List[int], List[int]]] = []
+    for kind, name, rate in l_specs:
+        _app, sampler = make_l_app(kind, name, rngs)
+        arr_rng = rngs.stream(f"arrivals/{name}")
+        if cfg.bursty:
+            arrivals = draw_bursty(arr_rng, rate, end_ns)
+        else:
+            arrivals = draw_open_loop(arr_rng, rate, end_ns)
+        per_app.append((name, arrivals, batch_services(sampler,
+                                                       len(arrivals))))
+
+    # Merge to one time-ordered sequence (stable: spec order at ties,
+    # like source construction order in the exact engine).
+    merged: List[Tuple[int, int, int]] = []
+    for idx, (_name, arrivals, services) in enumerate(per_app):
+        merged.extend((t, idx, svc)
+                      for t, svc in zip(arrivals, services))
+    merged.sort(key=lambda row: row[0])
+
+    has_batch = len(b_specs) > 0
+    adapter_cls = FluidVessel if system_name == "vessel" else FluidCaladan
+    adapter = adapter_cls(cfg.num_workers, cfg.costs,
+                          rngs.stream(f"fluid/{system_name}"),
+                          warmup_ns, end_ns, has_batch=has_batch)
+
+    names = [name for name, _a, _s in per_app]
+    latency: Dict[str, List[int]] = {name: [] for name in names}
+    queue_wait: Dict[str, List[int]] = {name: [] for name in names}
+    completed: Dict[str, int] = {name: 0 for name in names}
+    busy_ns: Dict[str, int] = {name: 0 for name in names}
+    clip = adapter.acct.clip
+    for t, idx, svc in merged:
+        start, done = adapter.serve(t, svc)
+        if done > end_ns:
+            # The exact engine never fires this completion: the run ends
+            # with the request in flight (its core time still accrues).
+            busy_ns[names[idx]] += clip(start, done)
+            continue
+        name = names[idx]
+        busy_ns[name] += clip(start, done)
+        if done >= warmup_ns:
+            completed[name] += 1
+            latency[name].append(done - t)
+            if start >= warmup_ns:
+                queue_wait[name].append(start - t)
+    adapter.finish(end_ns)
+
+    elapsed = end_ns - warmup_ns
+    window_total = elapsed * cfg.num_workers
+    acct = adapter.acct
+    buckets: Dict[str, int] = {}
+    for name in names:
+        buckets[f"app:{name}"] = busy_ns[name]
+    buckets["runtime"] = acct.runtime_ns
+    buckets["kernel"] = acct.kernel_ns
+    l_total = sum(busy_ns.values())
+    overhead = acct.runtime_ns + acct.kernel_ns
+    if has_batch:
+        # Batch apps soak everything the L side and the schedulers do
+        # not use (core-time conservation); split evenly across them.
+        buckets["idle"] = acct.idle_ns
+        useful_total = max(0, window_total - l_total - overhead
+                           - acct.idle_ns)
+    else:
+        buckets["idle"] = max(0, window_total - l_total - overhead)
+        useful_total = 0
+
+    report = SystemReport(system=system_name, elapsed_ns=elapsed,
+                          num_worker_cores=cfg.num_workers,
+                          buckets=buckets)
+    for name in names:
+        report.latency[name] = summarize_ns(latency[name])
+        report.queue_wait[name] = summarize_ns(queue_wait[name])
+        report.completed[name] = completed[name]
+    from repro.obs.hist import LogHistogram
+    for name in names:
+        report.latency_hist[name] = LogHistogram.from_samples(latency[name])
+    for kind in b_specs:
+        report.useful_ns[kind] = useful_total // len(b_specs)
+    # The whole point: no discrete events fired.
+    report.events_fired = 0
+    return report

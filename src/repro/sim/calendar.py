@@ -1,0 +1,187 @@
+"""A calendar-queue (bucketed-heap) event queue for the discrete engine.
+
+The binary heap in ``repro.sim.engine`` pays ``O(log n)`` per push/pop
+with the constant of tuple comparisons over the whole pending set.  Most
+of this codebase's events are *near-future* timers (arrival gaps,
+service completions, scan ticks — all within a few tens of
+microseconds), which is the access pattern calendar queues exploit:
+events hash into fixed-width time buckets, each bucket holds a small
+heap, and the dispatcher only ever touches the handful of buckets near
+the clock.
+
+:class:`CalendarSimulator` is a drop-in :class:`~repro.sim.engine.
+Simulator` replacement — same API, same cancellation semantics, and
+(load-bearing) the *same firing order*: entries carry the same global
+``(time, seq)`` keys, buckets are visited in time order, and within a
+bucket the heap orders by the same tuples, so a run driven by either
+engine fires the identical event sequence.  ``tests/sim/test_calendar.py``
+pins that equivalence under schedule/cancel storms.
+
+The fluid mode removes events wholesale; this class makes the events
+that *remain* cheaper, and is deliberately its own module so the stock
+engine's hot loop stays untouched (byte-identity of ``--fluid off``
+includes never re-ordering that code).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+#: default bucket width: 4096 ns covers the common timer horizon
+#: (switches, reactions, service times) with single-digit bucket hops
+_DEFAULT_WIDTH = 4096
+
+
+class CalendarSimulator(Simulator):
+    """Simulator with a bucketed event calendar instead of one heap.
+
+    Buckets are keyed by ``time // bucket_width_ns`` in a dict; a side
+    heap of bucket keys finds the earliest non-empty bucket without
+    scanning.  All public behaviour (API, ordering, cancellation,
+    ``run(until=...)`` clock semantics) matches the base class.
+    """
+
+    def __init__(self, bucket_width_ns: int = _DEFAULT_WIDTH) -> None:
+        super().__init__()
+        if bucket_width_ns < 1:
+            raise ValueError("bucket width must be positive")
+        self._width = bucket_width_ns
+        self._buckets: dict = {}
+        self._keys: List[int] = []  # min-heap of (possibly stale) keys
+
+    # -- scheduling ----------------------------------------------------
+    def _push(self, time: int, entry: tuple) -> None:
+        key = time // self._width
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [entry]
+            heapq.heappush(self._keys, key)
+        else:
+            heapq.heappush(bucket, entry)
+
+    def at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        self._seq = seq = self._seq + 1
+        time = int(time)
+        event = Event(time, seq, fn, args, owner=self)
+        self._push(time, (time, seq, event))
+        self._live += 1
+        return event
+
+    def after(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._seq = seq = self._seq + 1
+        time = self.now + int(delay)
+        event = Event(time, seq, fn, args, owner=self)
+        self._push(time, (time, seq, event))
+        self._live += 1
+        return event
+
+    def post(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._seq = seq = self._seq + 1
+        time = self.now + int(delay)
+        self._push(time, (time, seq, None, fn, args))
+        self._live += 1
+
+    # -- queue access --------------------------------------------------
+    def _front_bucket(self) -> Optional[list]:
+        """Earliest non-empty bucket, dropping stale keys and dead
+        entries at bucket fronts on the way."""
+        keys = self._keys
+        buckets = self._buckets
+        while keys:
+            key = keys[0]
+            bucket = buckets.get(key)
+            if not bucket:
+                heapq.heappop(keys)
+                buckets.pop(key, None)
+                continue
+            entry = bucket[0]
+            event = entry[2]
+            if event is not None and not event._alive:
+                heapq.heappop(bucket)
+                self._dead -= 1
+                continue
+            return bucket
+        return None
+
+    def peek(self) -> Optional[int]:
+        bucket = self._front_bucket()
+        if bucket is None:
+            return None
+        return bucket[0][0]
+
+    def step(self) -> bool:
+        bucket = self._front_bucket()
+        if bucket is None:
+            return False
+        entry = heapq.heappop(bucket)
+        self.now = entry[0]
+        event = entry[2]
+        if event is None:
+            fn, args = entry[3], entry[4]
+        else:
+            event._alive = False
+            fn, args = event.fn, event.args
+        self._live -= 1
+        self.events_fired += 1
+        fn(*args)
+        return True
+
+    def run(self, until: Optional[int] = None) -> None:
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        pop = heapq.heappop
+        try:
+            while not self._stopped:
+                bucket = self._front_bucket()
+                if bucket is None:
+                    break
+                entry = bucket[0]
+                if until is not None and entry[0] > until:
+                    break
+                pop(bucket)
+                self.now = entry[0]
+                event = entry[2]
+                self._live -= 1
+                self.events_fired += 1
+                if event is None:
+                    entry[3](*entry[4])
+                else:
+                    event._alive = False
+                    event.fn(*event.args)
+        finally:
+            self._running = False
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+
+    # -- maintenance ---------------------------------------------------
+    def _drop_dead(self) -> None:
+        self._front_bucket()
+
+    def _compact(self) -> None:
+        """Purge dead entries from every bucket (Event.cancel calls this
+        through the same owner hook as the base class)."""
+        buckets = self._buckets
+        for key in list(buckets):
+            bucket = buckets[key]
+            live = [entry for entry in bucket
+                    if entry[2] is None or entry[2]._alive]
+            if len(live) != len(bucket):
+                if live:
+                    heapq.heapify(live)
+                    buckets[key] = live
+                else:
+                    del buckets[key]
+        self._dead = 0

@@ -1,0 +1,364 @@
+"""Analytic fast-forward adapters: the fluid half of the hybrid engine.
+
+The exact engine walks every request through ~30 Python events (arrival
+tick, dispatch reaction, Uintr delivery, switch legs, completion, park,
+batch refill).  In a steady-state window almost none of those events
+carry a *decision* — the scheduler's behaviour is fully determined by a
+handful of calibrated constants — so the fluid mode collapses each
+system to a small analytic state machine that advances per *request*
+instead of per *event*:
+
+* **FluidVessel** — a shared pool of server channels.  An arrival either
+  (a) lands on a channel still draining its queue (back-to-back serve,
+  zero switch cost — exactly ``_serve_next``'s drain loop), or (b) pays
+  the dispatch reaction ``max(sched_react, scan/2) * control-plane
+  factor`` plus one preemptive uProcess switch to activate a parked
+  thread on a best-effort core.  Both formulas are the scheduler's own
+  (same CostModel fields), so the Figure 12 knee at ~42 cores emerges
+  from the same arithmetic.
+
+* **FluidCaladan** — per-app core ownership with the IOKernel's grant
+  cadence: spin pickup within the 2 µs steal window is free, queue
+  drain is run-to-completion, and growing the core set waits for the
+  allocation tick (one grant per tick, idle-rebind at 1.95 µs when a
+  parked core is available, the 5.3 µs Figure 3 pipeline when a batch
+  core must be preempted).  Parked cores hand back through the
+  IOKernel's congestion-scaled notice delay and are re-granted to batch
+  on the next tick they sit idle through.
+
+Approximation contract (docs/SIMULATION.md states it for users): per-
+request latency, queue wait, and completion counts are first-class and
+gated against the exact engine (``python -m repro fluidcheck``); the
+runtime/kernel/idle bucket split and batch ``useful_ns`` are aggregate
+reconstructions (core-time conservation), good to a few percent but not
+event-exact.  Switch noise and jitter are drawn from a dedicated
+``fluid`` RNG stream — statistically the exact engine's model, not
+draw-for-draw identical.
+
+Both adapters require arrivals in nondecreasing time order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import List, Tuple
+
+from repro.hardware.timing import CostModel
+
+
+class _WindowAccounts:
+    """Aggregate ns charges clipped to the measurement window."""
+
+    def __init__(self, warmup_ns: int, end_ns: int) -> None:
+        self.warmup_ns = warmup_ns
+        self.end_ns = end_ns
+        self.runtime_ns = 0
+        self.kernel_ns = 0
+        self.idle_ns = 0
+
+    def clip(self, begin: int, finish: int) -> int:
+        lo = begin if begin > self.warmup_ns else self.warmup_ns
+        hi = finish if finish < self.end_ns else self.end_ns
+        return hi - lo if hi > lo else 0
+
+
+class FluidVessel:
+    """Analytic VESSEL: shared channel pool + dispatch-reaction entry."""
+
+    def __init__(self, num_cores: int, costs: CostModel,
+                 rng: random.Random, warmup_ns: int, end_ns: int,
+                 has_batch: bool = True) -> None:
+        if num_cores < 1:
+            raise ValueError("need at least one worker core")
+        self.k = num_cores
+        self.costs = costs
+        self.rng = rng
+        self.acct = _WindowAccounts(warmup_ns, end_ns)
+        self.has_batch = has_batch
+        # The scheduler's own reaction arithmetic (VesselSystem
+        # properties effective_scan_ns / control_plane_factor).
+        per_pass = num_cores * costs.vessel_sched_per_core_ns
+        effective_scan = max(costs.vessel_scan_interval_ns, per_pass)
+        rho = per_pass / costs.vessel_scan_interval_ns
+        factor = 1.0 / (1.0 - min(rho, 0.97))
+        self.react = int(max(costs.sched_react_ns, effective_scan // 2)
+                         * factor)
+        #: the periodic scan re-dispatches backlogged apps every pass,
+        #: activating at most ``activation_burst`` threads per tick —
+        #: at scale this path beats the per-arrival dispatch (whose
+        #: reaction inflates with scheduler-core congestion, ``react``)
+        self.scan = effective_scan
+        self.burst = 4  # DEFAULT_ACTIVATION_BURST
+        self._tick_t = 0
+        self._tick_used = 0
+        self._send_deliver = costs.uintr_send_ns + costs.uintr_deliver_ns
+        # Activating a parked thread preempts a best-effort core (the
+        # common colocated case) or wakes an idle one (UMWAIT).
+        if has_batch:
+            self._entry_base = costs.vessel_preempt_switch_ns()
+        else:
+            self._entry_base = (costs.umwait_wake_ns
+                                + costs.vessel_park_switch_ns())
+        self._park_base = costs.vessel_park_switch_ns()
+        self._busy: List[int] = []      # per-channel drain-free times
+        self._waiting: List[int] = []   # assigned starts not yet begun
+        self._idle = num_cores
+        self.activations = 0
+        self.parks = 0
+
+    def _switch_extra(self) -> int:
+        costs = self.costs
+        return (costs.vessel_switch_noise_ns(self.rng)
+                + costs.jitter_ns(self.rng))
+
+    def _park(self, at: int) -> None:
+        # Thread parks, then the core switches a best-effort thread back
+        # in (charged "runtime", like _start_thread's switch leg).
+        self.parks += 1
+        if self.has_batch:
+            cost = self._park_base + self._switch_extra()
+            self.acct.runtime_ns += self.acct.clip(at, at + cost)
+
+    def serve(self, t: int, service_ns: int) -> Tuple[int, int]:
+        """Assign one arrival; returns (start_ns, done_ns)."""
+        busy = self._busy
+        while busy and busy[0] <= t:
+            self._park(heapq.heappop(busy))
+            self._idle += 1
+        # The default policy's activation gate: a parked thread is only
+        # placed when the queue outnumbers active + already-activating
+        # servers (deficit > 0).  Two paths evaluate it: the per-arrival
+        # dispatch (one scheduler reaction after the arrival) and the
+        # periodic scan (next tick, at most ``burst`` placements each).
+        waiting = self._waiting
+        while waiting and waiting[0] <= t:
+            heapq.heappop(waiting)
+        if self._idle and len(waiting) + 1 > len(busy):
+            tick = (t // self.scan + 1) * self.scan
+            if tick < self._tick_t:
+                tick = self._tick_t
+            if tick == self._tick_t and self._tick_used >= self.burst:
+                tick += self.scan
+            placed_at = tick if tick < t + self.react else t + self.react
+            entry = self._entry_base + self._switch_extra()
+            activate_start = placed_at + entry
+            if busy and busy[0] < activate_start:
+                # A draining channel frees first; the placement finds
+                # the queue already claimed and activates nothing.
+                start = heapq.heappop(busy)
+            else:
+                if placed_at == tick:  # consumed a tick's burst budget
+                    if tick == self._tick_t:
+                        self._tick_used += 1
+                    else:
+                        self._tick_t, self._tick_used = tick, 1
+                self._idle -= 1
+                self.activations += 1
+                # The switch leg minus the already-elapsed send+deliver
+                # is what _start_thread charges the worker core.
+                charged = max(1, entry - self._send_deliver)
+                self.acct.runtime_ns += self.acct.clip(
+                    activate_start - charged, activate_start)
+                start = activate_start
+        else:
+            # Deficit <= 0 (or no parked thread): the request queues and
+            # an active channel drains to it back-to-back (_serve_next).
+            start = heapq.heappop(busy)
+        done = start + service_ns
+        heapq.heappush(busy, done)
+        if start > t:
+            heapq.heappush(waiting, start)
+        return start, done
+
+    def finish(self, end_ns: int) -> None:
+        """Close the run: channels free before the end park their thread."""
+        busy = self._busy
+        while busy and busy[0] <= end_ns:
+            self._park(heapq.heappop(busy))
+            self._idle += 1
+
+
+class FluidCaladan:
+    """Analytic Caladan: ownership, spin pickup, tick-paced grants."""
+
+    def __init__(self, num_cores: int, costs: CostModel,
+                 rng: random.Random, warmup_ns: int, end_ns: int,
+                 has_batch: bool = True) -> None:
+        if num_cores < 1:
+            raise ValueError("need at least one worker core")
+        self.k = num_cores
+        self.costs = costs
+        self.rng = rng
+        self.acct = _WindowAccounts(warmup_ns, end_ns)
+        self.has_batch = has_batch
+        per_pass = num_cores * costs.caladan_iokernel_per_core_ns
+        self.alloc_interval = max(costs.caladan_core_alloc_interval_ns,
+                                  per_pass)
+        rho = per_pass / costs.caladan_core_alloc_interval_ns
+        factor = 1.0 / (1.0 - min(rho, 0.97))
+        self.handoff = max(0, int(costs.caladan_iokernel_react_ns
+                                  * (factor - 1.0)))
+        self.spin = costs.caladan_steal_before_park_ns
+        self._rebind_base = costs.caladan_park_switch_ns
+        self._pipeline_base = costs.caladan_realloc_ns()
+        self._busy: List[int] = []       # owned cores' drain-free times
+        #: cores inside their steal-spin window, ascending free time;
+        #: pickup is LIFO (the most recently freed spinner grabs work),
+        #: so long-idle spinners expire once and park instead of the
+        #: whole owned set staying lukewarm forever
+        self._spinning: List[int] = []
+        self._idle_at: List[int] = []    # parked cores' handoff times
+        self._waiting: List[int] = []    # assigned starts not yet begun
+        self._batch_cores = num_cores if has_batch else 0
+        self._spare = 0 if has_batch else num_cores
+        self._last_grant_tick = -1
+        self.grants = 0
+        self.rebinds = 0
+        self.parks = 0
+
+    def _next_tick(self, t: int) -> int:
+        iv = self.alloc_interval
+        return (t // iv + 1) * iv
+
+    def _park(self, free_at: int) -> None:
+        # Spin for the steal window, yield, then wait out the IOKernel's
+        # notice delay before the core is grantable again.
+        self.parks += 1
+        self.acct.runtime_ns += self.acct.clip(free_at, free_at + self.spin)
+        yield_at = free_at + self.spin
+        self.acct.kernel_ns += self.acct.clip(
+            yield_at, yield_at + self.costs.caladan_park_yield_ns)
+        heapq.heappush(self._idle_at,
+                       yield_at + self.costs.caladan_park_yield_ns
+                       + self.handoff)
+
+    def _flush_idle(self, t: int) -> None:
+        """Idle cores nobody claimed rejoin batch at the tick they idle
+        through (the alloc tick's include_batch grant)."""
+        idle_at = self._idle_at
+        while idle_at and self._next_tick(idle_at[0]) <= t:
+            avail = heapq.heappop(idle_at)
+            tick = self._next_tick(avail)
+            self.acct.idle_ns += self.acct.clip(avail, tick)
+            if self.has_batch:
+                cost = self._rebind_base \
+                    + self.costs.kernel_jitter_ns(self.rng)
+                self.acct.kernel_ns += self.acct.clip(tick, tick + cost)
+                self._batch_cores += 1
+            else:
+                self._spare += 1
+
+    def _grant(self, t: int):
+        """Earliest (start_ns, kind) a fresh core grant could serve at,
+        or None when no grant is possible/allowed."""
+        owned = len(self._busy) + len(self._spinning)
+        if owned >= self.k:
+            return None
+        # Caladan only adds a core while the queue outnumbers the owned
+        # set (congested_wants_more); count requests still waiting.
+        waiting = self._waiting
+        while waiting and waiting[0] <= t:
+            heapq.heappop(waiting)
+        if len(waiting) + 1 <= owned:
+            return None
+        best = None
+        if self._idle_at:
+            # A parked core's handoff grants as soon as the IOKernel
+            # notices it with congestion standing (cheap rebind).
+            at = self._idle_at[0] if self._idle_at[0] > t else t
+            best = (at + self._rebind_base, "idle")
+        pool = self._batch_cores if self.has_batch else self._spare
+        if pool > 0:
+            tick = self._next_tick(t)
+            if tick <= self._last_grant_tick:
+                tick = self._last_grant_tick + self.alloc_interval
+            if self.has_batch:
+                cand = (tick + self._pipeline_base, "preempt")
+            else:
+                cand = (tick + self._rebind_base, "spare")
+            if best is None or cand[0] < best[0]:
+                best = cand
+        return best
+
+    def _take_grant(self, t: int, grant) -> int:
+        est_start, kind = grant
+        self.grants += 1
+        jitter = self.costs.kernel_jitter_ns(self.rng)
+        if kind == "idle":
+            avail = heapq.heappop(self._idle_at)
+            at = avail if avail > t else t
+            self.acct.idle_ns += self.acct.clip(avail, at)
+            cost = self._rebind_base + jitter
+            self.rebinds += 1
+        else:
+            at = est_start - (self._pipeline_base if kind == "preempt"
+                              else self._rebind_base)
+            self._last_grant_tick = at
+            if kind == "preempt":
+                cost = self._pipeline_base + jitter
+                self._batch_cores -= 1
+            else:
+                cost = self._rebind_base + jitter
+                self._spare -= 1
+                self.rebinds += 1
+        self.acct.kernel_ns += self.acct.clip(at, at + cost)
+        return at + cost
+
+    def _expire(self, t: int) -> None:
+        """Move freed cores out of the busy heap: into the spinning list
+        while their steal window is open, parked once it lapses."""
+        busy = self._busy
+        spinning = self._spinning
+        spin = self.spin
+        while spinning and spinning[0] + spin <= t:
+            self._park(spinning.pop(0))
+        while busy and busy[0] <= t:
+            free = heapq.heappop(busy)
+            if free + spin <= t:
+                self._park(free)
+            else:
+                spinning.append(free)  # busy pops ascending: stays sorted
+
+    def serve(self, t: int, service_ns: int) -> Tuple[int, int]:
+        """Assign one arrival; returns (start_ns, done_ns)."""
+        self._expire(t)
+        self._flush_idle(t)
+        busy = self._busy
+        if self._spinning:
+            # A core spinning inside the app picks the request up
+            # directly (on_arrival's fast path) — zero switch cost.
+            free = self._spinning.pop()
+            self.acct.runtime_ns += self.acct.clip(free, t)
+            start = t
+        else:
+            drain = busy[0] if busy else None
+            grant = self._grant(t)
+            if grant is not None and (drain is None or grant[0] < drain):
+                start = self._take_grant(t, grant)
+            else:
+                start = heapq.heappop(busy)
+        done = start + service_ns
+        heapq.heappush(busy, done)
+        if start > t:
+            heapq.heappush(self._waiting, start)
+        return start, done
+
+    def finish(self, end_ns: int) -> None:
+        self._expire(end_ns)
+        for free in self._spinning:  # still spinning at the window edge
+            self.acct.runtime_ns += self.acct.clip(free, end_ns)
+        del self._spinning[:]
+        while self._busy:
+            heapq.heappop(self._busy)
+        self._flush_idle(end_ns)
+        while self._idle_at:
+            self.acct.idle_ns += self.acct.clip(
+                heapq.heappop(self._idle_at), end_ns)
+
+
+#: adapter registry the fluid runner dispatches on
+FLUID_ADAPTERS = {
+    "vessel": FluidVessel,
+    "caladan": FluidCaladan,
+}

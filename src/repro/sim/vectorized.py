@@ -1,0 +1,171 @@
+"""Batch uniform draws on the engine's named RNG streams.
+
+The per-event sources draw one variate per request through
+``random.Random`` — a Python-level call per arrival, plus a timer event
+to deliver it.  The fluid engine (``repro.sim.fluid``) instead pre-draws
+whole arrival schedules, which needs the *same* uniform stream served in
+bulk: :class:`BufferedUniforms` transplants a ``random.Random``'s
+Mersenne-Twister state into a numpy ``RandomState`` and serves the
+identical 53-bit uniforms from vectorized blocks.
+
+Bit-identity is load-bearing, not best-effort.  Both generators build a
+double from two twister words as ``(a >> 5) * 2**26 + (b >> 6)) / 2**53``,
+so a transplanted stream reproduces ``rng.random()`` exactly — the
+equivalence tests in ``tests/sim/test_vectorized.py`` assert integer
+equality, and the determinism contract in docs/SIMULATION.md depends on
+it.  What is *not* bit-identical is ``np.log`` vs ``math.log`` (SIMD
+polynomials differ in the last ulp on ~0.3% of inputs on this machine),
+so the distribution replays below keep every transcendental in scalar
+``math`` code, applying numpy only to the uniform block draw.
+
+The replays mirror CPython's ``random.py`` (stable 3.9 → 3.12):
+
+* ``expovariate(lambd)``  = ``-log(1 - u) / lambd``  (1 uniform)
+* ``normalvariate``       = Kinderman–Monahan rejection (2 uniforms per
+  attempt, a variable number of attempts)
+* ``lognormvariate``      = ``exp(normalvariate(mu, sigma))``
+
+Consumers that only need *part* of a stream may over-draw: a
+``BufferedUniforms`` never writes state back into the Python ``Random``,
+so it must only wrap streams the wrapped code path owns exclusively
+(every ``arrivals/*`` / ``svc/*`` stream is dedicated to one source).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+import numpy as np
+
+#: CPython's random.NV_MAGICCONST, reproduced so the rejection loop
+#: below stays bit-identical even if the stdlib ever renames it.
+_NV_MAGICCONST = 4 * math.exp(-0.5) / math.sqrt(2.0)
+
+_BLOCK = 8192
+
+
+class BufferedUniforms:
+    """Serve a ``random.Random``'s uniform stream from numpy blocks.
+
+    The wrapped ``Random`` is left untouched; the twister state is
+    copied out once and advanced privately.  ``u()`` returns exactly the
+    floats ``rng.random()`` would have returned, in order.
+    """
+
+    __slots__ = ("_state", "_buf", "_i", "drawn")
+
+    def __init__(self, rng: random.Random, block: int = _BLOCK) -> None:
+        version, internal, _gauss = rng.getstate()
+        if version != 3:  # pragma: no cover - future-proofing guard
+            raise ValueError(f"unsupported Random state version {version}")
+        keys, pos = internal[:-1], internal[-1]
+        self._state = np.random.RandomState()
+        self._state.set_state(("MT19937",
+                               np.array(keys, dtype=np.uint32), pos))
+        self._buf = self._state.random_sample(block)
+        self._i = 0
+        #: uniforms consumed so far (tests compare against scalar draws)
+        self.drawn = 0
+
+    def u(self) -> float:
+        """The next uniform in [0, 1) — bit-identical to ``rng.random()``."""
+        i = self._i
+        buf = self._buf
+        if i >= len(buf):
+            buf = self._buf = self._state.random_sample(_BLOCK)
+            i = 0
+        self._i = i + 1
+        self.drawn += 1
+        return buf[i]
+
+    # -- scalar replays of random.Random's variates --------------------
+    def expovariate(self, lambd: float) -> float:
+        return -math.log(1.0 - self.u()) / lambd
+
+    def normalvariate(self, mu: float, sigma: float) -> float:
+        while True:
+            u1 = self.u()
+            u2 = 1.0 - self.u()
+            z = _NV_MAGICCONST * (u1 - 0.5) / u2
+            if z * z / 4.0 <= -math.log(u2):
+                break
+        return mu + z * sigma
+
+    def lognormvariate(self, mu: float, sigma: float) -> float:
+        return math.exp(self.normalvariate(mu, sigma))
+
+
+def draw_open_loop(rng: random.Random, rate_mops: float,
+                   until_ns: int, start_ns: int = 0) -> List[int]:
+    """All arrival timestamps an ``OpenLoopSource`` would generate.
+
+    Replays ``OpenLoopSource._tick`` exactly: a request is submitted at
+    the tick time, *then* the next gap is drawn as
+    ``max(1, int(expovariate(1.0 / (1000.0 / rate_mops))))``.  The engine
+    fires events at ``t <= until``, so the last arrival is the largest
+    tick not past ``until_ns``.  Integer-identical to the per-event
+    source on the same stream (same float ops, same draw order).
+    """
+    if rate_mops <= 0:
+        return []
+    buf = BufferedUniforms(rng)
+    log = math.log
+    u = buf.u
+    lambd = 1.0 / (1000.0 / rate_mops)
+    times: List[int] = []
+    append = times.append
+    t = start_ns
+    while t <= until_ns:
+        append(t)
+        t += max(1, int(-log(1.0 - u()) / lambd))
+    return times
+
+
+def draw_bursty(rng: random.Random, rate_mops: float, until_ns: int,
+                burst_factor: float = 4.0, calm_mean_ns: int = 80_000,
+                burst_mean_ns: int = 20_000,
+                start_ns: int = 0) -> List[int]:
+    """All arrival timestamps a ``BurstySource`` would generate.
+
+    Ticks and phase toggles draw from the *same* stream, interleaved in
+    event order, so the replay runs the two timer chains through a
+    two-entry merge with the engine's ``(time, seq)`` tie-break: the
+    tick chain is scheduled first (in ``OpenLoopSource.__init__``), the
+    toggle chain second, and each firing re-schedules itself with a
+    fresh sequence number.
+    """
+    if rate_mops <= 0:
+        return []
+    total = calm_mean_ns + burst_mean_ns
+    base = rate_mops * total / (calm_mean_ns + burst_factor * burst_mean_ns)
+    buf = BufferedUniforms(rng)
+    log = math.log
+    u = buf.u
+    times: List[int] = []
+    append = times.append
+    rate = base
+    in_burst = False
+    tick_t, tick_seq = start_ns, 1
+    tog_t, tog_seq = start_ns + calm_mean_ns, 2
+    seq = 2
+    while True:
+        if (tick_t, tick_seq) < (tog_t, tog_seq):
+            if tick_t > until_ns:
+                break
+            append(tick_t)
+            lambd = 1.0 / (1000.0 / rate)
+            tick_t += max(1, int(-log(1.0 - u()) / lambd))
+            seq += 1
+            tick_seq = seq
+        else:
+            if tog_t > until_ns:
+                break
+            in_burst = not in_burst
+            rate = base * (burst_factor if in_burst else 1.0)
+            mean = burst_mean_ns if in_burst else calm_mean_ns
+            tog_t += max(1, int(-log(1.0 - u()) / (1.0 / mean)))
+            seq += 1
+            tog_seq = seq
+    return times

@@ -1,0 +1,66 @@
+"""Batch service-time draws, integer-identical to the scalar samplers.
+
+``repro.sim.vectorized`` serves the raw uniform stream in numpy blocks;
+this module replays each sampler's *call protocol* on top of it — the
+GET/SET coin before the lognormal draw, the rejection loop inside
+``normalvariate`` — so a batch of ``n`` draws consumes the ``svc/*``
+stream exactly as ``n`` scalar calls would and returns the same
+integers.  The fluid engine pre-draws whole runs through here; the
+equivalence tests pin every sampler kind across seeds.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.vectorized import BufferedUniforms
+from repro.workloads.memcached import _GET_FRACTION, UsrServiceSampler
+from repro.workloads.synthetic import (
+    BimodalService,
+    ConstantService,
+    ExponentialService,
+    LognormalService,
+)
+
+
+def batch_services(sampler, n: int) -> List[int]:
+    """``[sampler() for _ in range(n)]``, drawn through numpy blocks.
+
+    Raises ``TypeError`` for sampler kinds without a registered replay —
+    callers (the fluid eligibility check) treat that as "fall back to
+    the exact engine", never as "approximate the draws".
+    """
+    if isinstance(sampler, ConstantService):
+        return [sampler.service_ns] * n
+    if isinstance(sampler, UsrServiceSampler):
+        return _batch_usr(sampler, n)
+    if isinstance(sampler, LognormalService):
+        buf = BufferedUniforms(sampler.rng)
+        mu, sigma = sampler.mu, sampler.sigma
+        return [max(1, int(buf.lognormvariate(mu, sigma)))
+                for _ in range(n)]
+    if isinstance(sampler, BimodalService):
+        buf = BufferedUniforms(sampler.rng)
+        fast, slow, frac = (sampler.fast_ns, sampler.slow_ns,
+                            sampler.slow_fraction)
+        return [slow if buf.u() < frac else fast for _ in range(n)]
+    if isinstance(sampler, ExponentialService):
+        buf = BufferedUniforms(sampler.rng)
+        lambd = 1.0 / sampler.mean_ns
+        return [max(1, int(buf.expovariate(lambd))) for _ in range(n)]
+    raise TypeError(f"no batch replay for sampler {type(sampler).__name__}")
+
+
+def _batch_usr(sampler: UsrServiceSampler, n: int) -> List[int]:
+    # The coin and both lognormals share one stream; replay in call order.
+    buf = BufferedUniforms(sampler.rng)
+    get_mu, get_sigma = sampler._get.mu, sampler._get.sigma
+    set_mu, set_sigma = sampler._set.mu, sampler._set.sigma
+    out: List[int] = []
+    append = out.append
+    for _ in range(n):
+        if buf.u() < _GET_FRACTION:
+            append(max(1, int(buf.lognormvariate(get_mu, get_sigma))))
+        else:
+            append(max(1, int(buf.lognormvariate(set_mu, set_sigma))))
+    return out

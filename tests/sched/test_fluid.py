@@ -1,0 +1,114 @@
+"""The hybrid fluid/event mode's contract, as tests:
+
+- ``--fluid`` defaults off and the off path is the untouched exact
+  engine (events fire; the golden byte-identity suite next door pins
+  the actual bytes).
+- Eligibility is conservative: every unmodeled feature produces a
+  reason, and any reason forces the exact engine — with a report
+  *identical* to the ``--fluid off`` twin.
+- The fluid path fires zero discrete events and lands within the
+  (generous, unit-test-scale) tolerance of the exact engine.  The
+  tight pinned-scenario tolerance lives in ``python -m repro
+  fluidcheck``; these tests only guard the plumbing.
+- ``--engine calendar`` is byte-identical through the full
+  ``run_colocation`` stack, not just the queue microtests.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, run_colocation
+from repro.experiments.fluid_run import fluid_eligibility
+from repro.net import NetConfig
+
+L_MEMCACHED = [("memcached", "memcached", 2.0)]
+
+
+def _cfg(**overrides):
+    base = dict(num_workers=4, sim_ms=4, warmup_ms=1, seed=42,
+                bursty=True)
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def _snapshot(report):
+    return (report.elapsed_ns, dict(report.buckets),
+            {k: dict(v) for k, v in report.latency.items()},
+            dict(report.completed), dict(report.useful_ns),
+            report.events_fired)
+
+
+def test_fluid_defaults_off():
+    cfg = ExperimentConfig()
+    assert cfg.fluid == "off"
+    assert cfg.engine == "heap"
+
+
+def test_fluid_off_runs_the_event_engine():
+    report = run_colocation("vessel", _cfg(), L_MEMCACHED)
+    assert report.events_fired > 0
+
+
+def test_eligible_run_is_fluid_and_fires_no_events():
+    assert fluid_eligibility("vessel", _cfg(fluid="on"), L_MEMCACHED) == []
+    report = run_colocation("vessel", _cfg(fluid="on"), L_MEMCACHED)
+    assert report.events_fired == 0
+    assert report.completed["memcached"] > 0
+
+
+@pytest.mark.parametrize("system,kwargs,needle", [
+    ("fakesys", {}, "no fluid adapter"),
+    ("vessel", dict(cfg_overrides=dict(net=NetConfig())), "net fabric"),
+    ("vessel", dict(cfg_overrides=dict(policy="mlfq")), "policies"),
+    ("vessel", dict(l_specs=[("rocksdb", "rocksdb", 1.0)]),
+     "batch replay"),
+    ("caladan", dict(l_specs=[("memcached", "a", 1.0),
+                              ("memcached", "b", 1.0)]),
+     "single L-app partition"),
+    ("vessel", dict(b_specs=("membench",)), "linpack"),
+    ("vessel", dict(bus_sensitivity=0.5), "bus-sensitivity"),
+    ("vessel", dict(vessel_bw_cap=10.0), "bandwidth caps"),
+    ("vessel", dict(setup_hook=lambda *a: None), "setup hooks"),
+    ("vessel", dict(track_queues=True), "queue tracking"),
+])
+def test_eligibility_reasons(system, kwargs, needle):
+    kwargs = dict(kwargs)
+    cfg = _cfg(fluid="on", **kwargs.pop("cfg_overrides", {}))
+    l_specs = kwargs.pop("l_specs", L_MEMCACHED)
+    reasons = fluid_eligibility(system, cfg, l_specs, **kwargs)
+    assert any(needle in reason for reason in reasons), reasons
+
+
+def test_ineligible_fluid_run_falls_back_byte_identically(capsys):
+    off = run_colocation("vessel", _cfg(), L_MEMCACHED,
+                         track_queues=True)
+    on = run_colocation("vessel", _cfg(fluid="on"), L_MEMCACHED,
+                        track_queues=True)
+    assert _snapshot(on) == _snapshot(off)
+    assert on.queue_peak == off.queue_peak
+    captured = capsys.readouterr()
+    # The notice must stay off stdout (byte-compared output).
+    assert "fallback" not in captured.out
+    assert "fallback" in captured.err
+
+
+@pytest.mark.parametrize("system", ["vessel", "caladan"])
+def test_fluid_tracks_exact_at_unit_scale(system):
+    cfg = _cfg(num_workers=8, sim_ms=6, warmup_ms=2)
+    specs = [("memcached", "memcached", 3.6)]  # load 0.45
+    exact = run_colocation(system, cfg, specs)
+    fluid = run_colocation(system, cfg.scaled(fluid="on"), specs)
+    # Plumbing-level guards; the tight tolerance gate is `fluidcheck`.
+    assert fluid.events_fired == 0
+    e_tput = exact.throughput_mops("memcached")
+    f_tput = fluid.throughput_mops("memcached")
+    assert f_tput == pytest.approx(e_tput, rel=0.05)
+    e_p99 = exact.p99_us("memcached")
+    f_p99 = fluid.p99_us("memcached")
+    assert abs(f_p99 - e_p99) <= max(5.0, 0.6 * e_p99)
+
+
+def test_calendar_engine_byte_identical_through_run_colocation():
+    heap = run_colocation("vessel", _cfg(), L_MEMCACHED)
+    calendar = run_colocation("vessel", _cfg(engine="calendar"),
+                              L_MEMCACHED)
+    assert _snapshot(calendar) == _snapshot(heap)

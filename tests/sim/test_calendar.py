@@ -1,0 +1,127 @@
+"""CalendarSimulator must fire the identical event sequence as the
+binary-heap Simulator — same times, same order, same clock semantics —
+under schedule/cancel storms, reuse across run windows, and the post()
+fast path.  The fire-order contract is what lets experiments swap the
+queue without perturbing determinism."""
+
+import random
+
+import pytest
+
+from repro.sim.calendar import CalendarSimulator
+from repro.sim.engine import SimulationError, Simulator
+
+
+def _storm(sim, seed, log, rounds=2000):
+    """Drive a randomized schedule/cancel workload and log firings."""
+    rng = random.Random(seed)
+    handles = []
+
+    def fire(tag):
+        log.append((sim.now, tag))
+        # Re-schedule from inside handlers too.
+        if rng.random() < 0.35:
+            delay = rng.randrange(0, 5000)
+            tag2 = f"{tag}/r{len(log)}"
+            if rng.random() < 0.5:
+                sim.post(delay, fire, tag2)
+            else:
+                handles.append(sim.after(delay, fire, tag2))
+        if handles and rng.random() < 0.3:
+            handles.pop(rng.randrange(len(handles))).cancel()
+
+    for i in range(rounds):
+        delay = rng.randrange(0, 200_000)
+        if rng.random() < 0.4:
+            sim.post(delay, fire, f"p{i}")
+        else:
+            handles.append(sim.after(delay, fire, f"e{i}"))
+    # A cancel storm before running: kill ~1/3 outright.
+    rng.shuffle(handles)
+    for _ in range(len(handles) // 3):
+        handles.pop().cancel()
+
+
+@pytest.mark.parametrize("seed", [1, 42, 777])
+@pytest.mark.parametrize("width", [64, 4096, 1_000_000])
+def test_fire_order_identical_under_storm(seed, width):
+    log_heap, log_cal = [], []
+    heap_sim = Simulator()
+    cal_sim = CalendarSimulator(bucket_width_ns=width)
+    _storm(heap_sim, seed, log_heap)
+    _storm(cal_sim, seed, log_cal)
+    heap_sim.run(until=150_000)
+    cal_sim.run(until=150_000)
+    assert log_cal == log_heap
+    assert cal_sim.now == heap_sim.now == 150_000
+    assert cal_sim.events_fired == heap_sim.events_fired
+    # Both engines then drain the leftover tail identically.
+    heap_sim.run()
+    cal_sim.run()
+    assert log_cal == log_heap
+    assert cal_sim.pending() == heap_sim.pending() == 0
+
+
+def test_same_time_fires_in_schedule_order():
+    sim = CalendarSimulator()
+    log = []
+    sim.at(100, log.append, "a")
+    sim.post(100, log.append, "b")
+    sim.at(100, log.append, "c")
+    sim.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_cancel_is_honored_and_pending_tracks():
+    sim = CalendarSimulator()
+    log = []
+    keep = sim.at(50, log.append, "keep")
+    kill = sim.at(50, log.append, "kill")
+    kill.cancel()
+    assert sim.pending() == 1
+    sim.run()
+    assert log == ["keep"]
+    assert keep.alive is False
+
+
+def test_cancel_storm_triggers_compaction():
+    sim = CalendarSimulator(bucket_width_ns=256)
+    log = []
+    handles = [sim.at(i * 10, log.append, i) for i in range(500)]
+    for handle in handles[::2]:
+        handle.cancel()  # 250 dead > live threshold path
+    sim.run()
+    assert log == list(range(1, 500, 2))
+
+
+def test_run_advances_clock_to_until():
+    sim = CalendarSimulator()
+    sim.post(10, lambda: None)
+    sim.run(until=9_999)
+    assert sim.now == 9_999
+    assert sim.pending() == 0
+
+
+def test_past_schedule_rejected():
+    sim = CalendarSimulator()
+    sim.post(100, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(50, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.after(-1, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.post(-1, lambda: None)
+
+
+def test_reuse_across_windows_matches_heap():
+    log_heap, log_cal = [], []
+    for sim, log in ((Simulator(), log_heap),
+                     (CalendarSimulator(bucket_width_ns=128), log_cal)):
+        def tick(sim=sim, log=log):
+            log.append(sim.now)
+            sim.post(7_321, tick)
+        sim.post(0, tick)
+        for window in range(1, 6):
+            sim.run(until=window * 20_000)
+    assert log_cal == log_heap
